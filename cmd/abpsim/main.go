@@ -1,0 +1,261 @@
+// Command abpsim runs one instruction-level simulation of the non-blocking
+// work stealer under a chosen kernel adversary and yield discipline, and
+// prints the measured statistics against the paper's bound.
+//
+// Examples:
+//
+//	abpsim -workload fib -n 16 -p 8 -kernel dedicated
+//	abpsim -workload chain -n 500 -p 8 -kernel adaptive -yield all
+//	abpsim -workload grid -p 4 -kernel benign -avail 2 -potential
+//	abpsim -workload fib -p 4 -kernel lockholder -deque locked
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"worksteal/internal/analysis"
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+	"worksteal/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "fib", "workload: chain|spine|fib|grid|strands|randomSP|figure1")
+		n         = flag.Int("n", 14, "workload size parameter")
+		p         = flag.Int("p", 4, "number of processes P")
+		kernel    = flag.String("kernel", "dedicated", "kernel adversary: dedicated|benign|oblivious|adaptive|lockholder|periodic|fixedset")
+		avail     = flag.Int("avail", 2, "processors' worth of service for benign/oblivious kernels")
+		period    = flag.Int("period", 4, "period for the periodic kernel")
+		yield     = flag.String("yield", "none", "yield discipline: none|random|all")
+		deq       = flag.String("deque", "abp", "deque implementation: abp|locked")
+		policy    = flag.String("policy", "child", "spawn policy: child|parent")
+		seed      = flag.Int64("seed", 1, "random seed")
+		maxRounds = flag.Int("maxrounds", 0, "round limit (0 = generous default)")
+		tagBits   = flag.Int("tagbits", 32, "deque tag width in bits (0 demonstrates the ABA failure)")
+		potential = flag.Bool("potential", false, "track the potential function and report phase statistics")
+		check     = flag.Bool("check", false, "verify the structural lemma at every instruction")
+		csvPath   = flag.String("csv", "", "write a per-round CSV trace (round,steps,throws,logPhi) to this file")
+		traceN    = flag.Int("trace", 0, "print a Figure 2(b)-style execution schedule for the first N steps")
+		ganttN    = flag.Int("gantt", 0, "print an ASCII per-process activity chart for the first N rounds")
+		dagFile   = flag.String("dagfile", "", "load the computation dag from this file (worksteal-dag v1 format) instead of -workload")
+		dumpDag   = flag.String("dumpdag", "", "write the selected dag to this file in worksteal-dag v1 format and exit")
+		dumpDot   = flag.String("dot", "", "write the selected dag to this file in Graphviz DOT format and exit")
+	)
+	flag.Parse()
+
+	var g *dag.Graph
+	if *dagFile != "" {
+		f, err := os.Open(*dagFile)
+		if err != nil {
+			fatalf("dagfile: %v", err)
+		}
+		g, err = dag.ReadText(f)
+		f.Close()
+		if err != nil {
+			fatalf("dagfile: %v", err)
+		}
+	} else {
+		g = buildWorkload(*wl, *n)
+	}
+	if *dumpDag != "" || *dumpDot != "" {
+		if *dumpDag != "" {
+			f, err := os.Create(*dumpDag)
+			if err != nil {
+				fatalf("dumpdag: %v", err)
+			}
+			if err := g.WriteText(f); err != nil {
+				fatalf("dumpdag: %v", err)
+			}
+			f.Close()
+		}
+		if *dumpDot != "" {
+			f, err := os.Create(*dumpDot)
+			if err != nil {
+				fatalf("dot: %v", err)
+			}
+			if err := g.WriteDOT(f); err != nil {
+				fatalf("dot: %v", err)
+			}
+			f.Close()
+		}
+		fmt.Printf("wrote %s (T1=%d, Tinf=%d)"+"\n", g.Label(), g.Work(), g.CriticalPath())
+		return
+	}
+	cfg := sim.Config{
+		Graph:     g,
+		P:         *p,
+		Seed:      *seed,
+		MaxRounds: *maxRounds,
+	}
+	if *tagBits == 0 {
+		cfg.TagBits = -1
+	} else {
+		cfg.TagBits = *tagBits
+	}
+
+	switch *kernel {
+	case "dedicated":
+		cfg.Kernel = sim.DedicatedKernel{NumProcs: *p}
+	case "benign":
+		cfg.Kernel = sim.ConstBenign(*p, *avail)
+	case "oblivious":
+		cfg.Kernel = sim.NewSeededOblivious(*p, *avail, *seed)
+	case "adaptive":
+		cfg.Kernel = sim.StarveWorkersKernel{NumProcs: *p}
+	case "lockholder":
+		cfg.Kernel = sim.PreemptLockHolderKernel{NumProcs: *p}
+	case "periodic":
+		cfg.Kernel = sim.PeriodicKernel{NumProcs: *p, Period: *period}
+	case "fixedset":
+		set := make([]int, 0, *p-1)
+		for i := 1; i < *p; i++ {
+			set = append(set, i)
+		}
+		cfg.Kernel = sim.FixedSetKernel{NumProcs: *p, Set: set}
+	default:
+		fatalf("unknown kernel %q", *kernel)
+	}
+
+	switch *yield {
+	case "none":
+		cfg.Yield = sim.YieldNone
+	case "random":
+		cfg.Yield = sim.YieldToRandom
+	case "all":
+		cfg.Yield = sim.YieldToAll
+	default:
+		fatalf("unknown yield %q", *yield)
+	}
+
+	switch *deq {
+	case "abp":
+		cfg.Deque = sim.DequeABP
+	case "locked":
+		cfg.Deque = sim.DequeLocked
+	default:
+		fatalf("unknown deque %q", *deq)
+	}
+
+	switch *policy {
+	case "child":
+		cfg.Policy = sim.RunChild
+	case "parent":
+		cfg.Policy = sim.RunParent
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+
+	var tracker *analysis.PotentialTracker
+	var checker *analysis.StructuralChecker
+	var csv *analysis.RoundCSV
+	var rec *analysis.ScheduleRecorder
+	var gantt *analysis.Gantt
+	observers := 0
+	if *traceN > 0 {
+		rec = analysis.NewScheduleRecorder(*traceN)
+		cfg.Observer = rec
+		observers++
+	}
+	if *ganttN > 0 {
+		gantt = analysis.NewGantt(*ganttN)
+		cfg.Observer = gantt
+		observers++
+	}
+	if *potential {
+		tracker = analysis.NewPotentialTracker(g.CriticalPath())
+		cfg.Observer = tracker
+		observers++
+	}
+	if *check {
+		checker = analysis.NewStructuralChecker(g.CriticalPath())
+		cfg.Observer = checker
+		observers++
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("csv: %v", err)
+		}
+		defer f.Close()
+		csv = analysis.NewRoundCSV(f, g.CriticalPath())
+		cfg.Observer = csv
+		observers++
+	}
+	if observers > 1 {
+		fatalf("-potential, -check, -csv, -trace and -gantt are mutually exclusive (one observer per run)")
+	}
+
+	res := sim.NewEngine(cfg).Run()
+
+	fmt.Printf("workload     %s (T1=%d, Tinf=%d, parallelism %.2f)\n",
+		g.Label(), g.Work(), g.CriticalPath(), g.Parallelism())
+	fmt.Printf("config       P=%d kernel=%s yield=%s deque=%s policy=%s seed=%d\n",
+		*p, *kernel, cfg.Yield, cfg.Deque, cfg.Policy, *seed)
+	fmt.Printf("completed    %v\n", res.Completed)
+	fmt.Printf("rounds       %d\n", res.Rounds)
+	fmt.Printf("steps (time) %d\n", res.Steps)
+	fmt.Printf("instructions %d\n", res.ProcInstr)
+	fmt.Printf("P_A          %.3f\n", res.PA)
+	fmt.Printf("nodes        %d\n", res.NodesExecuted)
+	fmt.Printf("steals       %d ok / %d attempts, %d throws\n", res.Steals, res.StealAttempts, res.Throws)
+	fmt.Printf("yields       %d (%d substitutions)\n", res.Yields, res.Substitutions)
+	fmt.Printf("cas failures %d, lock spin steps %d, corruptions %d\n",
+		res.CASFailures, res.SpinSteps, res.Corruptions)
+	if res.Completed && res.PA > 0 {
+		bound := (float64(g.Work()) + float64(g.CriticalPath()**p)) / res.PA
+		fmt.Printf("bound shape  steps / ((T1 + Tinf*P)/P_A) = %.3f\n", float64(res.Steps)/bound)
+	}
+	if tracker != nil {
+		st := analysis.AnalyzePhases(tracker.Points, *p)
+		fmt.Printf("potential    %d phases, success rate %.2f, mean log-drop %.2f, monotone %v\n",
+			st.Phases, st.SuccessRate(), st.MeanLogDrop, st.NeverIncreased)
+	}
+	if checker != nil {
+		fmt.Printf("structural   %d states checked, %d violations\n", checker.Checks, len(checker.Violations))
+		for _, v := range checker.Violations {
+			fmt.Println("  VIOLATION:", v)
+		}
+	}
+	if csv != nil && csv.Err() != nil {
+		fatalf("csv: %v", csv.Err())
+	}
+	if rec != nil {
+		rec.Render(os.Stdout)
+	}
+	if gantt != nil {
+		gantt.Render(os.Stdout)
+	}
+	if !res.Completed {
+		os.Exit(1)
+	}
+}
+
+func buildWorkload(name string, n int) *dag.Graph {
+	switch name {
+	case "chain":
+		return workload.Chain(n)
+	case "spine":
+		return workload.SpawnSpine(n, 4*n)
+	case "fib":
+		return workload.FibDag(n)
+	case "grid":
+		return workload.Grid(n, 2*n)
+	case "strands":
+		return workload.Strands(n, 2*n+1)
+	case "randomSP":
+		return workload.RandomSP(int64(n), 200*n)
+	case "figure1":
+		return dag.Figure1()
+	default:
+		fatalf("unknown workload %q", name)
+		return nil
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "abpsim: "+format+"\n", args...)
+	os.Exit(2)
+}

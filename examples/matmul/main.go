@@ -1,0 +1,131 @@
+// Matmul: divide-and-conquer matrix multiplication, the classic
+// bandwidth-heavy fork-join workload (and one of the original Cilk/Hood
+// demo applications). The recursion splits the output into quadrants,
+// forking three and descending into the fourth; leaves do a blocked serial
+// multiply.
+//
+// Run with:
+//
+//	go run ./examples/matmul -n 256 -leaf 64 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"worksteal/internal/sched"
+)
+
+// matrix is a square matrix view: a base slice with stride, so quadrant
+// views share the backing storage.
+type matrix struct {
+	data   []float64
+	stride int
+	n      int
+}
+
+func newMatrix(n int) matrix {
+	return matrix{data: make([]float64, n*n), stride: n, n: n}
+}
+
+func (m matrix) at(i, j int) float64     { return m.data[i*m.stride+j] }
+func (m matrix) set(i, j int, v float64) { m.data[i*m.stride+j] = v }
+func (m matrix) add(i, j int, v float64) { m.data[i*m.stride+j] += v }
+
+// quad returns the (qi, qj) quadrant view (qi, qj in {0, 1}).
+func (m matrix) quad(qi, qj int) matrix {
+	h := m.n / 2
+	return matrix{data: m.data[qi*h*m.stride+qj*h:], stride: m.stride, n: h}
+}
+
+// mulSerial computes c += a*b with a blocked loop.
+func mulSerial(c, a, b matrix) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.at(i, k)
+			for j := 0; j < n; j++ {
+				c.add(i, j, aik*b.at(k, j))
+			}
+		}
+	}
+}
+
+// mulPar computes c += a*b by quadrant recursion: the four quadrants of c
+// can be computed in parallel; within each, the two rank-halving products
+// must be serial (they accumulate into the same quadrant).
+func mulPar(w *sched.Worker, c, a, b matrix, leaf int) {
+	if c.n <= leaf {
+		mulSerial(c, a, b)
+		return
+	}
+	var futs [3]*sched.Future[struct{}]
+	idx := 0
+	for qi := 0; qi < 2; qi++ {
+		for qj := 0; qj < 2; qj++ {
+			ci, cj := qi, qj
+			task := func(w2 *sched.Worker) struct{} {
+				cq := c.quad(ci, cj)
+				mulPar(w2, cq, a.quad(ci, 0), b.quad(0, cj), leaf)
+				mulPar(w2, cq, a.quad(ci, 1), b.quad(1, cj), leaf)
+				return struct{}{}
+			}
+			if qi == 1 && qj == 1 {
+				task(w) // run the last quadrant inline
+			} else {
+				futs[idx] = sched.Fork(w, task)
+				idx++
+			}
+		}
+	}
+	for _, f := range futs {
+		f.Join(w)
+	}
+}
+
+func main() {
+	n := flag.Int("n", 256, "matrix dimension (power of two)")
+	leaf := flag.Int("leaf", 64, "serial leaf size")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+	if *n&(*n-1) != 0 || *n < 2 {
+		panic("n must be a power of two >= 2")
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	a, b := newMatrix(*n), newMatrix(*n)
+	for i := range a.data {
+		a.data[i] = rng.Float64()
+		b.data[i] = rng.Float64()
+	}
+
+	want := newMatrix(*n)
+	start := time.Now()
+	mulSerial(want, a, b)
+	serialTime := time.Since(start)
+
+	got := newMatrix(*n)
+	pool := sched.New(sched.Config{Workers: *workers})
+	start = time.Now()
+	pool.Run(func(w *sched.Worker) { mulPar(w, got, a, b, *leaf) })
+	parTime := time.Since(start)
+
+	var maxErr float64
+	for i := range got.data {
+		if e := math.Abs(got.data[i] - want.data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-9 {
+		panic(fmt.Sprintf("matmul mismatch: max error %g", maxErr))
+	}
+	s := pool.Stats()
+	fmt.Printf("%dx%d matmul verified (max error %.2g)\n", *n, *n, maxErr)
+	fmt.Printf("serial   %v\n", serialTime)
+	fmt.Printf("parallel %v on %d workers (speedup %.2f)\n",
+		parTime, pool.Workers(), float64(serialTime)/float64(parTime))
+	fmt.Printf("%d tasks, %d steals / %d attempts\n", s.TasksRun, s.Steals, s.StealAttempts)
+}

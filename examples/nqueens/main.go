@@ -1,0 +1,97 @@
+// Nqueens: irregular tree-search parallelism. Unlike fib, the search tree
+// is highly unbalanced, which is exactly the situation work stealing's
+// randomized load balancing handles without any tuning: busy workers' deque
+// tops hold the largest unexplored subtrees, and thieves grab those first
+// (the structural lemma in action).
+//
+// Run with:
+//
+//	go run ./examples/nqueens -n 11 -depth 3 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"worksteal/internal/sched"
+)
+
+// place reports whether a queen at (row, col) is safe given previous rows.
+func place(rows []int8, row, col int8) bool {
+	for r := int8(0); r < row; r++ {
+		c := rows[r]
+		if c == col || c-col == row-r || col-c == row-r {
+			return false
+		}
+	}
+	return true
+}
+
+// countSerial explores the remaining rows sequentially.
+func countSerial(n int, rows []int8, row int8) int64 {
+	if int(row) == n {
+		return 1
+	}
+	var total int64
+	for col := int8(0); col < int8(n); col++ {
+		if place(rows, row, col) {
+			rows[row] = col
+			total += countSerial(n, rows, row+1)
+		}
+	}
+	return total
+}
+
+// countPar spawns one task per safe column until spawnDepth, then goes
+// serial.
+func countPar(w *sched.Worker, n int, rows []int8, row int8, spawnDepth int, total *atomic.Int64) {
+	if int(row) == n {
+		total.Add(1)
+		return
+	}
+	if int(row) >= spawnDepth {
+		total.Add(countSerial(n, rows, row))
+		return
+	}
+	for col := int8(0); col < int8(n); col++ {
+		if place(rows, row, col) {
+			child := make([]int8, n)
+			copy(child, rows)
+			child[row] = col
+			w.Spawn(func(w2 *sched.Worker) {
+				countPar(w2, n, child, row+1, spawnDepth, total)
+			})
+		}
+	}
+}
+
+func main() {
+	n := flag.Int("n", 11, "board size")
+	depth := flag.Int("depth", 3, "rows to parallelize before going serial")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	start := time.Now()
+	serialCount := countSerial(*n, make([]int8, *n), 0)
+	serialTime := time.Since(start)
+
+	pool := sched.New(sched.Config{Workers: *workers})
+	var total atomic.Int64
+	start = time.Now()
+	pool.Run(func(w *sched.Worker) {
+		countPar(w, *n, make([]int8, *n), 0, *depth, &total)
+	})
+	parTime := time.Since(start)
+
+	if total.Load() != serialCount {
+		panic(fmt.Sprintf("nqueens mismatch: %d != %d", total.Load(), serialCount))
+	}
+	s := pool.Stats()
+	fmt.Printf("%d-queens solutions: %d\n", *n, total.Load())
+	fmt.Printf("serial   %v\n", serialTime)
+	fmt.Printf("parallel %v on %d workers (speedup %.2f)\n",
+		parTime, pool.Workers(), float64(serialTime)/float64(parTime))
+	fmt.Printf("%d tasks, %d steals / %d attempts\n", s.TasksRun, s.Steals, s.StealAttempts)
+}

@@ -1,0 +1,70 @@
+// Sort: the application-kernel suite (parallel quicksort, adaptive
+// quadrature, prime counting) from internal/apps, run end to end with
+// verification — the style of application study the Hood papers report.
+//
+// Run with:
+//
+//	go run ./examples/sort -n 2000000 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"worksteal/internal/apps"
+	"worksteal/internal/sched"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "elements to sort")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	pool := sched.New(sched.Config{Workers: *workers})
+	rng := rand.New(rand.NewSource(42))
+
+	// Parallel quicksort vs the standard library.
+	data := make([]int, *n)
+	for i := range data {
+		data[i] = rng.Int()
+	}
+	ref := append([]int(nil), data...)
+	start := time.Now()
+	sort.Ints(ref)
+	serial := time.Since(start)
+
+	start = time.Now()
+	pool.Run(func(w *sched.Worker) { apps.Quicksort(w, data, 2048) })
+	parallel := time.Since(start)
+	for i := range data {
+		if data[i] != ref[i] {
+			panic("sort mismatch")
+		}
+	}
+	fmt.Printf("quicksort %d ints: stdlib %v, parallel %v on %d workers (ratio %.2f)\n",
+		*n, serial, parallel, pool.Workers(), float64(serial)/float64(parallel))
+
+	// Adaptive quadrature.
+	var integral float64
+	start = time.Now()
+	pool.Run(func(w *sched.Worker) {
+		integral = apps.Integrate(w, func(x float64) float64 {
+			return math.Sin(1/x) * x // wildly oscillatory near 0
+		}, 0.02, 2, 1e-10)
+	})
+	fmt.Printf("adaptive quadrature: %.12f in %v\n", integral, time.Since(start))
+
+	// Prime counting.
+	var primes int
+	start = time.Now()
+	pool.Run(func(w *sched.Worker) { primes = apps.CountPrimes(w, 2, 300_000, 512) })
+	fmt.Printf("primes below 300000: %d in %v\n", primes, time.Since(start))
+
+	s := pool.Stats()
+	fmt.Printf("pool totals: %d tasks, %d steals / %d attempts\n",
+		s.TasksRun, s.Steals, s.StealAttempts)
+}

@@ -1,0 +1,108 @@
+// Verifier: the paper's opening example — "a parallel design verifier may
+// execute concurrently with other serial and parallel applications" — as a
+// real program: a parallel DPLL SAT solver (internal/apps) running on the
+// work-stealing pool, optionally while background load competes for the
+// processor (the multiprogrammed mix of the paper's introduction).
+//
+// Run with:
+//
+//	go run ./examples/verifier -pigeons 7 -holes 6 -background 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"worksteal/internal/apps"
+	"worksteal/internal/sched"
+)
+
+func pigeonhole(pigeons, holes int) apps.CNF {
+	v := func(p, h int) int { return p*holes + h + 1 }
+	var clauses [][]int
+	for p := 0; p < pigeons; p++ {
+		var c []int
+		for h := 0; h < holes; h++ {
+			c = append(c, v(p, h))
+		}
+		clauses = append(clauses, c)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				clauses = append(clauses, []int{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return apps.CNF{NumVars: pigeons * holes, Clauses: clauses}
+}
+
+func main() {
+	pigeons := flag.Int("pigeons", 7, "pigeons in the unsatisfiable core")
+	holes := flag.Int("holes", 6, "holes (pigeons-1 for UNSAT)")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	background := flag.Int("background", 0, "competing background spinner goroutines")
+	flag.Parse()
+
+	// The multiprogrammed mix: other 'applications' compete for processors.
+	stop := make(chan struct{})
+	for i := 0; i < *background; i++ {
+		go func() {
+			x := uint64(1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					x ^= x << 13
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	defer close(stop)
+
+	pool := sched.New(sched.Config{Workers: *workers})
+
+	// An unsatisfiable verification condition: the whole search tree must
+	// be refuted (no early out), the hardest case.
+	f := pigeonhole(*pigeons, *holes)
+	fmt.Printf("verifying PHP(%d,%d): %d variables, %d clauses, %d background tasks\n",
+		*pigeons, *holes, f.NumVars, len(f.Clauses), *background)
+	start := time.Now()
+	var ok bool
+	pool.Run(func(w *sched.Worker) { _, ok = apps.SolveSAT(w, f, 10) })
+	fmt.Printf("result: satisfiable=%v (expected false) in %v\n", ok, time.Since(start))
+	if ok {
+		panic("pigeonhole principle disproved; please collect your Fields Medal")
+	}
+
+	// A satisfiable instance: speculative parallel search with early out.
+	rng := rand.New(rand.NewSource(11))
+	sat := apps.CNF{NumVars: 60}
+	for i := 0; i < 140; i++ {
+		c := make([]int, 3)
+		for j := range c {
+			v := 1 + rng.Intn(sat.NumVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		sat.Clauses = append(sat.Clauses, c)
+	}
+	start = time.Now()
+	var model []bool
+	pool.Run(func(w *sched.Worker) { model, ok = apps.SolveSAT(w, sat, 10) })
+	fmt.Printf("random 3-SAT (60 vars, 140 clauses): satisfiable=%v in %v\n", ok, time.Since(start))
+	if ok && !sat.Eval(model) {
+		panic("solver returned a bogus model")
+	}
+
+	s := pool.Stats()
+	fmt.Printf("pool totals: %d tasks, %d steals / %d attempts\n",
+		s.TasksRun, s.Steals, s.StealAttempts)
+}

@@ -1,0 +1,3 @@
+module worksteal
+
+go 1.22

@@ -1,0 +1,51 @@
+package analysis
+
+import "math/rand"
+
+// BallsInBinsTrial throws len(weights) balls independently and uniformly at
+// random into len(weights) bins and returns the total weight of the bins
+// that received at least one ball.
+func BallsInBinsTrial(weights []float64, rng *rand.Rand) float64 {
+	n := len(weights)
+	if n == 0 {
+		return 0
+	}
+	hit := make([]bool, n)
+	for i := 0; i < n; i++ {
+		hit[rng.Intn(n)] = true
+	}
+	x := 0.0
+	for i, h := range hit {
+		if h {
+			x += weights[i]
+		}
+	}
+	return x
+}
+
+// BallsInBinsEstimate estimates Pr[X >= beta*W] over trials Monte Carlo
+// runs, where X is the hit weight of BallsInBinsTrial and W the total
+// weight. Lemma 7 lower-bounds this probability by 1 - 1/((1-beta)e).
+func BallsInBinsEstimate(weights []float64, beta float64, trials int, rng *rand.Rand) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 1
+	}
+	succ := 0
+	for t := 0; t < trials; t++ {
+		if BallsInBinsTrial(weights, rng) >= beta*total {
+			succ++
+		}
+	}
+	return float64(succ) / float64(trials)
+}
+
+// Lemma7Bound returns the paper's lower bound 1 - 1/((1-beta)e) on
+// Pr[X >= beta*W].
+func Lemma7Bound(beta float64) float64 {
+	const e = 2.718281828459045
+	return 1 - 1/((1-beta)*e)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"worksteal/internal/dag"
+	"worksteal/internal/offline"
+	"worksteal/internal/sim"
+)
+
+// ScheduleExtractor is a sim.Observer that converts a live simulation into
+// the formal objects of Section 2: a kernel schedule (how many processes
+// executed an instruction at each step) and an execution schedule (which
+// nodes executed at each step). The result can be validated with the
+// offline package's checkers, closing the loop between the executable
+// scheduler and the paper's model: Theorem 1's universal lower bound must
+// hold on every extracted schedule.
+//
+// Note the extracted schedule is generally NOT greedy — the work stealer is
+// an on-line scheduler that spends steps on deque operations and failed
+// steals — which is exactly why the paper needs Sections 3 and 4 rather
+// than Theorem 2.
+type ScheduleExtractor struct {
+	perStep  map[int]*stepInfo
+	maxStep  int
+	prevExec int
+}
+
+type stepInfo struct {
+	procs map[int]bool
+	nodes []dag.NodeID
+}
+
+// NewScheduleExtractor returns an empty extractor.
+func NewScheduleExtractor() *ScheduleExtractor {
+	return &ScheduleExtractor{perStep: map[int]*stepInfo{}}
+}
+
+// OnRoundStart is a no-op.
+func (x *ScheduleExtractor) OnRoundStart(e *sim.Engine, round int) {}
+
+// OnInstruction attributes the instruction (and any node execution) to the
+// current step.
+func (x *ScheduleExtractor) OnInstruction(e *sim.Engine, proc int) {
+	step := e.StepsSoFar()
+	si := x.perStep[step]
+	if si == nil {
+		si = &stepInfo{procs: map[int]bool{}}
+		x.perStep[step] = si
+	}
+	si.procs[proc] = true
+	if step > x.maxStep {
+		x.maxStep = step
+	}
+	if n := e.State().NumExecuted(); n != x.prevExec {
+		x.prevExec = n
+		si.nodes = append(si.nodes, e.LastExecuted())
+	}
+}
+
+// Extract returns the kernel schedule prefix (p_i per step) and the
+// execution schedule, truncated at the step where the final node executed
+// (the engine's drain phase — processes observing the done flag and halting
+// — contributes no node executions and is not part of the schedule). Steps
+// are 1-based in the engine; the returned slices are 0-based.
+func (x *ScheduleExtractor) Extract(g *dag.Graph) (offline.Fixed, *offline.ExecSchedule) {
+	// Drop trailing steps with no node executions.
+	for x.maxStep > 0 {
+		si := x.perStep[x.maxStep]
+		if si != nil && len(si.nodes) > 0 {
+			break
+		}
+		x.maxStep--
+	}
+	prefix := make([]int, x.maxStep)
+	e := &offline.ExecSchedule{Graph: g}
+	maxProcs := 0
+	for s := 1; s <= x.maxStep; s++ {
+		si := x.perStep[s]
+		var nodes []dag.NodeID
+		p := 0
+		if si != nil {
+			p = len(si.procs)
+			nodes = si.nodes
+		}
+		prefix[s-1] = p
+		if p > maxProcs {
+			maxProcs = p
+		}
+		e.Steps = append(e.Steps, nodes)
+		e.Procs = append(e.Procs, p)
+	}
+	return offline.Fixed{NumProcs: maxProcs, Prefix: prefix}, e
+}

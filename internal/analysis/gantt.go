@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+)
+
+// Gantt is a sim.Observer that renders an ASCII activity timeline: one row
+// per process, one column per round, showing what each process was doing
+// when the round started:
+//
+//	W  working (has an assigned node)
+//	s  thieving (yield/steal phase)
+//	d  operating on its own deque (push or popBottom in flight)
+//	.  not yet distinguishable / between phases
+//	x  halted
+//	(space) the process executed no instruction since the previous sample
+//
+// Reading the chart makes adversaries visible at a glance: a starvation
+// kernel shows columns where only 's' rows advance; yieldToAll shows the
+// starved 'W' row reappearing every few columns.
+type Gantt struct {
+	MaxRounds int
+	rows      [][]byte
+	lastInstr []int64
+	instr     []int64
+	rounds    int
+}
+
+// NewGantt keeps the first maxRounds columns.
+func NewGantt(maxRounds int) *Gantt {
+	return &Gantt{MaxRounds: maxRounds}
+}
+
+// OnInstruction counts per-process instructions to detect idle processes.
+func (g *Gantt) OnInstruction(e *sim.Engine, proc int) {
+	if g.instr == nil {
+		g.instr = make([]int64, e.P())
+	}
+	g.instr[proc]++
+}
+
+// OnRoundStart samples each process's phase.
+func (g *Gantt) OnRoundStart(e *sim.Engine, round int) {
+	if g.rows == nil {
+		g.rows = make([][]byte, e.P())
+		g.lastInstr = make([]int64, e.P())
+		g.instr = make([]int64, e.P())
+	}
+	g.rounds++
+	if round >= g.MaxRounds {
+		return
+	}
+	for pid, ps := range e.Snapshot() {
+		var c byte
+		switch {
+		case ps.Halted:
+			c = 'x'
+		case g.instr[pid] == g.lastInstr[pid] && round > 0:
+			c = ' ' // not scheduled since last sample
+		case ps.Assigned != dag.None:
+			c = 'W'
+		case ps.Phase == "yield" || ps.Phase == "steal":
+			c = 's'
+		case ps.Phase == "popBottom" || ps.Phase == "push":
+			c = 'd'
+		default:
+			c = '.'
+		}
+		g.rows[pid] = append(g.rows[pid], c)
+		g.lastInstr[pid] = g.instr[pid]
+	}
+}
+
+// Render writes the chart.
+func (g *Gantt) Render(w io.Writer) {
+	fmt.Fprintln(w, "activity by round (W work, s steal, d deque op, ' ' unscheduled, x halted):")
+	for pid, row := range g.rows {
+		fmt.Fprintf(w, "p%-3d |%s|\n", pid, string(row))
+	}
+	if g.rounds > g.MaxRounds {
+		fmt.Fprintf(w, "(%d more rounds not shown)\n", g.rounds-g.MaxRounds)
+	}
+}

@@ -1,0 +1,219 @@
+// Package analysis implements the paper's analysis machinery as executable
+// checks: the potential function of Section 4.2, phase decomposition and the
+// Lemma 8 potential-drop statistic, a Monte Carlo estimator for the Balls
+// and Weighted Bins lemma (Lemma 7), a live checker for the structural lemma
+// (Lemma 3 / Corollary 4), and least-squares fitting of the measured
+// execution time against the T1/P_A + Tinf*P/P_A bound.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+)
+
+// ln3 is the natural log of 3, the base of the potential function.
+var ln3 = math.Log(3)
+
+// logAdd returns log(exp(a) + exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// LogPotential computes the natural log of the potential Phi at the instant
+// captured by the snapshot: each ready node u contributes 3^(2w(u)-1) if it
+// has assigned status and 3^(2w(u)) otherwise, where w(u) = Tinf - depth(u)
+// in the enabling tree.
+//
+// Ready nodes that are neither some process's assigned node nor inside a
+// deque snapshot are in flight inside a deque operation (enabled but not
+// yet pushed, or popped but not yet assigned); they are counted with deque
+// status, so that the measured potential is non-increasing at instruction
+// granularity: it drops when the execution of an assigned node enables its
+// children, and again when an in-flight or deque node acquires assigned
+// status, never rising in between. Returns -Inf when no node is ready (the
+// final potential, Phi = 0).
+func LogPotential(st *dag.State, tinf int, snap []sim.ProcSnapshot) float64 {
+	assignedStatus := make(map[dag.NodeID]bool)
+	for _, ps := range snap {
+		if ps.Assigned != dag.None {
+			assignedStatus[ps.Assigned] = true
+		}
+	}
+	logPhi := math.Inf(-1)
+	for _, u := range st.ReadyNodes() {
+		w := st.Weight(tinf, u)
+		exp := 2 * w // deque or in-flight status: 3^(2w)
+		if assignedStatus[u] {
+			exp = 2*w - 1 // assigned status: 3^(2w-1)
+		}
+		logPhi = logAdd(logPhi, float64(exp)*ln3)
+	}
+	return logPhi
+}
+
+// InitialLogPotential returns log of Phi_0 = 3^(2*Tinf - 1), the potential
+// before the first instruction (only the root is ready, with assigned
+// status and weight Tinf).
+func InitialLogPotential(tinf int) float64 {
+	return float64(2*tinf-1) * ln3
+}
+
+// PhasePoint is one per-round sample recorded by PotentialTracker.
+type PhasePoint struct {
+	Round  int
+	Throws int     // cumulative throws at the start of the round
+	LogPhi float64 // log potential at the start of the round
+}
+
+// PotentialTracker is a sim.Observer that samples the potential and the
+// cumulative throw count at every round boundary.
+type PotentialTracker struct {
+	Points []PhasePoint
+	tinf   int
+}
+
+// NewPotentialTracker returns a tracker for a computation with the given
+// critical-path length.
+func NewPotentialTracker(tinf int) *PotentialTracker {
+	return &PotentialTracker{tinf: tinf}
+}
+
+// OnRoundStart samples potential and throws.
+func (t *PotentialTracker) OnRoundStart(e *sim.Engine, round int) {
+	t.Points = append(t.Points, PhasePoint{
+		Round:  round,
+		Throws: e.ThrowsSoFar(),
+		LogPhi: LogPotential(e.State(), t.tinf, e.Snapshot()),
+	})
+}
+
+// OnInstruction is a no-op; the tracker samples at round granularity.
+func (t *PotentialTracker) OnInstruction(e *sim.Engine, proc int) {}
+
+// PhaseStats summarizes the Lemma 8 behaviour of a traced run.
+type PhaseStats struct {
+	// Phases is the number of complete phases (intervals containing at
+	// least minThrows throws).
+	Phases int
+	// Successful counts phases whose potential dropped by at least 1/4
+	// (Phi_end <= 3/4 Phi_begin), the event Lemma 8 bounds below.
+	Successful int
+	// NeverIncreased reports that the potential was non-increasing across
+	// all sampled rounds (a theorem of Section 4.2, not just likely).
+	NeverIncreased bool
+	// MeanLogDrop is the average of log(Phi_begin) - log(Phi_end) over
+	// phases.
+	MeanLogDrop float64
+}
+
+// SuccessRate returns Successful/Phases, or 0 with no phases.
+func (s PhaseStats) SuccessRate() float64 {
+	if s.Phases == 0 {
+		return 0
+	}
+	return float64(s.Successful) / float64(s.Phases)
+}
+
+// AnalyzePhases decomposes the trace into phases of at least minThrows
+// throws (the paper uses P) and measures the potential drop across each.
+func AnalyzePhases(points []PhasePoint, minThrows int) PhaseStats {
+	stats := PhaseStats{NeverIncreased: true}
+	if len(points) == 0 {
+		return stats
+	}
+	const eps = 1e-9
+	for i := 1; i < len(points); i++ {
+		if points[i].LogPhi > points[i-1].LogPhi+eps {
+			stats.NeverIncreased = false
+		}
+	}
+	start := 0
+	logDropSum := 0.0
+	for i := 1; i < len(points); i++ {
+		if points[i].Throws-points[start].Throws >= minThrows {
+			drop := points[start].LogPhi - points[i].LogPhi
+			stats.Phases++
+			logDropSum += drop
+			// Success: Phi_end <= (3/4) Phi_begin.
+			if drop >= math.Log(4.0/3.0)-eps {
+				stats.Successful++
+			}
+			start = i
+		}
+	}
+	if stats.Phases > 0 {
+		stats.MeanLogDrop = logDropSum / float64(stats.Phases)
+	}
+	return stats
+}
+
+// RoundCSV is a sim.Observer that streams one CSV row per round:
+// round,steps,throws,logPhi. Useful for plotting potential decay and throw
+// accumulation outside Go (cmd/abpsim -csv).
+type RoundCSV struct {
+	W    io.Writer
+	tinf int
+	err  error
+}
+
+// NewRoundCSV returns a CSV observer; it writes the header immediately.
+func NewRoundCSV(w io.Writer, tinf int) *RoundCSV {
+	c := &RoundCSV{W: w, tinf: tinf}
+	_, c.err = fmt.Fprintln(w, "round,steps,throws,logPhi")
+	return c
+}
+
+// OnRoundStart writes one row.
+func (c *RoundCSV) OnRoundStart(e *sim.Engine, round int) {
+	if c.err != nil {
+		return
+	}
+	logPhi := LogPotential(e.State(), c.tinf, e.Snapshot())
+	_, c.err = fmt.Fprintf(c.W, "%d,%d,%d,%.6f\n", round, e.StepsSoFar(), e.ThrowsSoFar(), logPhi)
+}
+
+// OnInstruction is a no-op.
+func (c *RoundCSV) OnInstruction(e *sim.Engine, proc int) {}
+
+// Err reports the first write error, if any.
+func (c *RoundCSV) Err() error { return c.err }
+
+// SpaceTracker is a sim.Observer that measures the scheduler's space: the
+// total number of ready nodes held across all deques and assigned slots,
+// sampled at round boundaries. For fully strict computations, Blumofe and
+// Leiserson's analysis (the paper's reference [8]) bounds the work
+// stealer's space by S1 * P, where S1 is the serial (P = 1) maximum;
+// experiment E14 checks that bound empirically.
+type SpaceTracker struct {
+	Max int
+}
+
+// OnRoundStart samples the current space.
+func (s *SpaceTracker) OnRoundStart(e *sim.Engine, round int) {
+	total := 0
+	for _, ps := range e.Snapshot() {
+		total += len(ps.Deque)
+		if ps.Assigned != dag.None {
+			total++
+		}
+	}
+	if total > s.Max {
+		s.Max = total
+	}
+}
+
+// OnInstruction is a no-op; space is sampled per round.
+func (s *SpaceTracker) OnInstruction(e *sim.Engine, proc int) {}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+)
+
+// ScheduleRecorder is a sim.Observer that reconstructs the execution
+// schedule in the style of the paper's Figure 2(b): for each kernel step,
+// which nodes were executed and by which processes. Only the first MaxSteps
+// steps are kept (traces are for eyeballs, not bulk analysis — use RoundCSV
+// for that).
+type ScheduleRecorder struct {
+	MaxSteps int
+	// rows[s] lists (proc, node) executions observed at step s.
+	rows     map[int][]execEvent
+	prevExec int
+	maxStep  int
+}
+
+type execEvent struct {
+	proc int
+	node dag.NodeID
+}
+
+// NewScheduleRecorder keeps the first maxSteps steps of the schedule.
+func NewScheduleRecorder(maxSteps int) *ScheduleRecorder {
+	return &ScheduleRecorder{MaxSteps: maxSteps, rows: map[int][]execEvent{}}
+}
+
+// OnRoundStart is a no-op.
+func (r *ScheduleRecorder) OnRoundStart(e *sim.Engine, round int) {}
+
+// OnInstruction detects node executions by watching the executed count.
+func (r *ScheduleRecorder) OnInstruction(e *sim.Engine, proc int) {
+	n := e.State().NumExecuted()
+	if n == r.prevExec {
+		return
+	}
+	r.prevExec = n
+	step := e.StepsSoFar()
+	if step > r.maxStep {
+		r.maxStep = step
+	}
+	if step <= r.MaxSteps {
+		r.rows[step] = append(r.rows[step], execEvent{proc: proc, node: e.LastExecuted()})
+	}
+}
+
+// Render renders the recorded schedule, one row per step with the nodes
+// executed (x_k naming, 1-based) annotated with the executing process.
+func (r *ScheduleRecorder) Render(w io.Writer) {
+	fmt.Fprintln(w, "step | node executions (node@process)")
+	limit := r.maxStep
+	if limit > r.MaxSteps {
+		limit = r.MaxSteps
+	}
+	for s := 1; s <= limit; s++ {
+		var sb strings.Builder
+		for _, ev := range r.rows[s] {
+			fmt.Fprintf(&sb, " x%d@p%d", ev.node+1, ev.proc)
+		}
+		fmt.Fprintf(w, "%4d |%s\n", s, sb.String())
+	}
+	if r.maxStep > r.MaxSteps {
+		fmt.Fprintf(w, "... (%d more steps)\n", r.maxStep-r.MaxSteps)
+	}
+}
+
+// Executions returns the total number of recorded node executions.
+func (r *ScheduleRecorder) Executions() int {
+	n := 0
+	for _, evs := range r.rows {
+		n += len(evs)
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+)
+
+// StructuralChecker is a sim.Observer that verifies the structural lemma
+// (Lemma 3) and its corollary (Corollary 4) against the live simulator
+// state after every instruction:
+//
+//   - let u0 be a process's assigned node and x1..xk its deque from bottom
+//     to top, with designated parents v0..vk: then vi is an ancestor of
+//     vi-1 in the enabling tree, properly for i >= 2 (v1 may equal v0);
+//   - consequently node weights satisfy w(u0) <= w(x1) < w(x2) < ... < w(xk).
+//
+// Deques whose owner has an operation in flight are skipped for that
+// instant (their indices are transiently inconsistent mid-operation; the
+// lemma is stated for the linearized execution).
+type StructuralChecker struct {
+	tinf int
+	// Violations collects human-readable descriptions of any failures.
+	Violations []string
+	// Checks counts the deque states inspected.
+	Checks int
+	// maxViolations caps the report so a broken run does not OOM the test.
+	maxViolations int
+}
+
+// NewStructuralChecker returns a checker for a computation with the given
+// critical-path length.
+func NewStructuralChecker(tinf int) *StructuralChecker {
+	return &StructuralChecker{tinf: tinf, maxViolations: 20}
+}
+
+// OnRoundStart checks all processes at the round boundary.
+func (c *StructuralChecker) OnRoundStart(e *sim.Engine, round int) { c.checkAll(e) }
+
+// OnInstruction checks all processes after every instruction.
+func (c *StructuralChecker) OnInstruction(e *sim.Engine, proc int) { c.checkAll(e) }
+
+// Ok reports whether no violations were observed.
+func (c *StructuralChecker) Ok() bool { return len(c.Violations) == 0 }
+
+func (c *StructuralChecker) checkAll(e *sim.Engine) {
+	if len(c.Violations) >= c.maxViolations {
+		return
+	}
+	st := e.State()
+	for pid, ps := range e.Snapshot() {
+		if !ps.Stable || ps.Halted {
+			continue
+		}
+		c.Checks++
+		c.checkProc(st, pid, ps)
+	}
+}
+
+func (c *StructuralChecker) checkProc(st *dag.State, pid int, ps sim.ProcSnapshot) {
+	// Chain: u0 (assigned, optional), then x1..xk bottom to top.
+	chain := make([]dag.NodeID, 0, len(ps.Deque)+1)
+	if ps.Assigned != dag.None {
+		chain = append(chain, ps.Assigned)
+	}
+	hasAssigned := ps.Assigned != dag.None
+	chain = append(chain, ps.Deque...)
+	if len(chain) < 2 {
+		return
+	}
+	for i := 1; i < len(chain); i++ {
+		a, b := chain[i-1], chain[i]
+		// Weight ordering (Corollary 4): strictly increasing along the
+		// deque; the assigned node may tie with the bottom node only in
+		// weight derived from a shared designated parent.
+		wa, wb := st.Weight(c.tinf, a), st.Weight(c.tinf, b)
+		firstPair := i == 1 && hasAssigned
+		if firstPair {
+			if wb < wa {
+				c.violate("proc %d: w(bottom %d)=%d < w(assigned %d)=%d", pid, b, wb, a, wa)
+			}
+		} else if wb <= wa {
+			c.violate("proc %d: deque weights not strictly increasing: w(%d)=%d, then w(%d)=%d toward top",
+				pid, a, wa, b, wb)
+		}
+		// Ancestor ordering (Lemma 3): parent(b) is an ancestor of
+		// parent(a), properly except possibly for the first pair.
+		pa, pb := st.DesignatedParent(a), st.DesignatedParent(b)
+		if pa == dag.None {
+			continue // a is the root; no parent to compare
+		}
+		if pb == dag.None {
+			// b's parent is undefined only if b is the root, which cannot
+			// sit above another ready node's parent chain.
+			if b != st.Graph().Root() {
+				c.violate("proc %d: node %d in deque has no designated parent", pid, b)
+			}
+			continue
+		}
+		if !st.IsEnablingAncestor(pb, pa) {
+			c.violate("proc %d: parent(%d)=%d is not an ancestor of parent(%d)=%d",
+				pid, b, pb, a, pa)
+		}
+		if !firstPair && pa == pb {
+			c.violate("proc %d: designated parents of deque nodes %d and %d coincide (%d)",
+				pid, a, b, pa)
+		}
+	}
+}
+
+func (c *StructuralChecker) violate(format string, args ...any) {
+	if len(c.Violations) < c.maxViolations {
+		c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// TopHeavyChecker verifies Lemma 6 (Top-Heavy Deques) on live simulator
+// states: for any process with a non-empty deque, the topmost node
+// contributes at least 3/4 of the potential associated with that process
+// (its deque contents plus its assigned node). Like the structural checker
+// it skips processes with an owner operation in flight.
+type TopHeavyChecker struct {
+	tinf       int
+	Checks     int
+	Violations []string
+	max        int
+}
+
+// NewTopHeavyChecker returns a checker for the given critical-path length.
+func NewTopHeavyChecker(tinf int) *TopHeavyChecker {
+	return &TopHeavyChecker{tinf: tinf, max: 20}
+}
+
+// Ok reports whether no violations were observed.
+func (c *TopHeavyChecker) Ok() bool { return len(c.Violations) == 0 }
+
+// OnRoundStart checks all processes.
+func (c *TopHeavyChecker) OnRoundStart(e *sim.Engine, round int) { c.checkAll(e) }
+
+// OnInstruction checks all processes after every instruction.
+func (c *TopHeavyChecker) OnInstruction(e *sim.Engine, proc int) { c.checkAll(e) }
+
+func (c *TopHeavyChecker) checkAll(e *sim.Engine) {
+	if len(c.Violations) >= c.max {
+		return
+	}
+	st := e.State()
+	for pid, ps := range e.Snapshot() {
+		if !ps.Stable || ps.Halted || len(ps.Deque) == 0 {
+			continue
+		}
+		c.Checks++
+		// Potential of the process: deque nodes at 3^(2w), assigned at
+		// 3^(2w-1); all in log space.
+		logTotal := math.Inf(-1)
+		for _, u := range ps.Deque {
+			logTotal = logAdd(logTotal, float64(2*st.Weight(c.tinf, u))*ln3)
+		}
+		if ps.Assigned != dag.None {
+			logTotal = logAdd(logTotal, float64(2*st.Weight(c.tinf, ps.Assigned)-1)*ln3)
+		}
+		top := ps.Deque[len(ps.Deque)-1] // snapshot is bottom..top
+		logTop := float64(2*st.Weight(c.tinf, top)) * ln3
+		if logTop < logTotal+math.Log(0.75)-1e-9 {
+			if len(c.Violations) < c.max {
+				c.Violations = append(c.Violations,
+					fmt.Sprintf("proc %d: top node %d holds only exp(%.3f) of exp(%.3f) potential",
+						pid, top, logTop, logTotal))
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"testing"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/sim"
+	"worksteal/internal/workload"
+)
+
+// TestThrowPhaseSurvey logs throw and phase statistics across the workload
+// spectrum; it asserts the Lemma 8 invariants hold on every row.
+func TestThrowPhaseSurvey(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *dag.Graph
+		p    int
+	}{
+		{"fib16", workload.FibDag(16), 8},
+		{"fib16", workload.FibDag(16), 16},
+		{"grid", workload.Grid(20, 30), 8},
+		{"strands", workload.Strands(10, 21), 8},
+		{"spine", workload.SpawnSpine(16, 40), 8},
+		{"chain", workload.Chain(500), 8},
+	}
+	for _, c := range cases {
+		tr := NewPotentialTracker(c.g.CriticalPath())
+		res := sim.NewEngine(sim.Config{
+			Graph: c.g, P: c.p, Kernel: sim.DedicatedKernel{NumProcs: c.p},
+			Seed: 23, Observer: tr,
+		}).Run()
+		if !res.Completed {
+			t.Fatalf("%s: incomplete", c.name)
+		}
+		st := AnalyzePhases(tr.Points, c.p)
+		if !st.NeverIncreased {
+			t.Errorf("%s: potential increased", c.name)
+		}
+		if st.Phases > 0 && st.SuccessRate() < 0.25 {
+			t.Errorf("%s: success rate %.2f < 0.25", c.name, st.SuccessRate())
+		}
+		t.Logf("%s P=%d T1=%d Tinf=%d throws=%d rounds=%d phases=%d rate=%.2f meanDrop=%.2f",
+			c.name, c.p, c.g.Work(), c.g.CriticalPath(), res.Throws, res.Rounds, st.Phases, st.SuccessRate(), st.MeanLogDrop)
+	}
+}

@@ -1,0 +1,149 @@
+// Package apps contains parallel application kernels built on the
+// work-stealing pool, in the spirit of the application studies run on Hood
+// [Blumofe & Papadopoulos]: divide-and-conquer algorithms whose recursion
+// trees are exactly the fork-join dags the paper's analysis covers.
+package apps
+
+import (
+	"math"
+
+	"worksteal/internal/sched"
+)
+
+// Quicksort sorts data in place with parallel recursive partitioning:
+// subarrays larger than grain fork their left half. The recursion tree is
+// input-dependent and unbalanced — a workload where randomized stealing's
+// load balancing matters.
+func Quicksort(w *sched.Worker, data []int, grain int) {
+	if grain < 8 {
+		grain = 8
+	}
+	quicksort(w, data, grain)
+}
+
+func quicksort(w *sched.Worker, data []int, grain int) {
+	for len(data) > grain {
+		p := partition(data)
+		left, right := data[:p], data[p+1:]
+		// Fork the smaller side, descend into the larger: bounds stack
+		// depth at O(log n) per worker.
+		if len(left) > len(right) {
+			left, right = right, left
+		}
+		l := left
+		f := sched.Fork(w, func(w2 *sched.Worker) struct{} {
+			quicksort(w2, l, grain)
+			return struct{}{}
+		})
+		data = right
+		defer f.Join(w)
+	}
+	insertionSort(data)
+}
+
+// partition uses a median-of-three pivot and returns its final index.
+func partition(data []int) int {
+	n := len(data)
+	mid := n / 2
+	if data[0] > data[mid] {
+		data[0], data[mid] = data[mid], data[0]
+	}
+	if data[0] > data[n-1] {
+		data[0], data[n-1] = data[n-1], data[0]
+	}
+	if data[mid] > data[n-1] {
+		data[mid], data[n-1] = data[n-1], data[mid]
+	}
+	pivot := data[mid]
+	data[mid], data[n-2] = data[n-2], data[mid]
+	i := 0
+	for j := 1; j < n-2; j++ {
+		if data[j] < pivot {
+			i++
+			if i != j {
+				data[i], data[j] = data[j], data[i]
+			}
+		}
+	}
+	data[i+1], data[n-2] = data[n-2], data[i+1]
+	return i + 1
+}
+
+func insertionSort(data []int) {
+	for i := 1; i < len(data); i++ {
+		v := data[i]
+		j := i - 1
+		for j >= 0 && data[j] > v {
+			data[j+1] = data[j]
+			j--
+		}
+		data[j+1] = v
+	}
+}
+
+// Integrate computes the definite integral of f over [a, b] by parallel
+// adaptive quadrature (Simpson's rule with recursive refinement). The
+// recursion adapts to f's curvature, so the dag shape is unknown a priori —
+// the situation the paper's on-line scheduling model addresses.
+func Integrate(w *sched.Worker, f func(float64) float64, a, b, eps float64) float64 {
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	return adapt(w, f, a, b, fa, fb, fm, simpson(a, b, fa, fm, fb), eps, 24)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adapt(w *sched.Worker, f func(float64) float64, a, b, fa, fb, fm, whole, eps float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*eps {
+		return left + right + (left+right-whole)/15
+	}
+	if depth <= 18 {
+		// Deep refinements are cheap; stop forking to keep grain sensible.
+		return adapt(w, f, a, m, fa, fm, flm, left, eps/2, depth-1) +
+			adapt(w, f, m, b, fm, fb, frm, right, eps/2, depth-1)
+	}
+	r, l := sched.Join2(w,
+		func(w2 *sched.Worker) float64 {
+			return adapt(w2, f, m, b, fm, fb, frm, right, eps/2, depth-1)
+		},
+		func(w2 *sched.Worker) float64 {
+			return adapt(w2, f, a, m, fa, fm, flm, left, eps/2, depth-1)
+		})
+	return l + r
+}
+
+// CountPrimes counts primes in [lo, hi) with a parallel reduction over
+// trial division — the embarrassingly parallel end of the spectrum.
+func CountPrimes(w *sched.Worker, lo, hi, grain int) int {
+	return sched.Reduce(w, lo, hi, grain,
+		func(i int) int {
+			if isPrime(i) {
+				return 1
+			}
+			return 0
+		},
+		func(a, b int) int { return a + b })
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

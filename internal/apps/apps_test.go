@@ -1,0 +1,212 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"worksteal/internal/sched"
+)
+
+func runOn(workers int, fn func(w *sched.Worker)) {
+	sched.New(sched.Config{Workers: workers}).Run(fn)
+}
+
+func TestQuicksortCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 10, 1000, 50000} {
+		for _, workers := range []int{1, 4} {
+			data := make([]int, n)
+			for i := range data {
+				data[i] = rng.Intn(1000)
+			}
+			want := append([]int(nil), data...)
+			sort.Ints(want)
+			runOn(workers, func(w *sched.Worker) { Quicksort(w, data, 32) })
+			for i := range data {
+				if data[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: mismatch at %d", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestQuicksortAdversarialInputs(t *testing.T) {
+	cases := map[string]func(n int) []int{
+		"sorted": func(n int) []int {
+			d := make([]int, n)
+			for i := range d {
+				d[i] = i
+			}
+			return d
+		},
+		"reversed": func(n int) []int {
+			d := make([]int, n)
+			for i := range d {
+				d[i] = n - i
+			}
+			return d
+		},
+		"equal": func(n int) []int {
+			d := make([]int, n)
+			for i := range d {
+				d[i] = 7
+			}
+			return d
+		},
+		"sawtooth": func(n int) []int {
+			d := make([]int, n)
+			for i := range d {
+				d[i] = i % 5
+			}
+			return d
+		},
+	}
+	for name, mk := range cases {
+		data := mk(5000)
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+		runOn(4, func(w *sched.Worker) { Quicksort(w, data, 16) })
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("%s: mismatch at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestQuickQuicksortMatchesSort(t *testing.T) {
+	pool := sched.New(sched.Config{Workers: 4})
+	prop := func(vals []int16, grain uint8) bool {
+		data := make([]int, len(vals))
+		for i, v := range vals {
+			data[i] = int(v)
+		}
+		want := append([]int(nil), data...)
+		sort.Ints(want)
+		pool.Run(func(w *sched.Worker) { Quicksort(w, data, int(grain)) })
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegratePolynomial(t *testing.T) {
+	// Integral of 3x^2 over [0, 2] = 8, exactly representable by Simpson.
+	var got float64
+	runOn(4, func(w *sched.Worker) {
+		got = Integrate(w, func(x float64) float64 { return 3 * x * x }, 0, 2, 1e-10)
+	})
+	if math.Abs(got-8) > 1e-9 {
+		t.Fatalf("integral = %v, want 8", got)
+	}
+}
+
+func TestIntegrateOscillatory(t *testing.T) {
+	// Integral of sin over [0, pi] = 2; the adaptive recursion refines the
+	// curvature unevenly, producing an irregular dag.
+	var got float64
+	runOn(4, func(w *sched.Worker) {
+		got = Integrate(w, math.Sin, 0, math.Pi, 1e-9)
+	})
+	if math.Abs(got-2) > 1e-7 {
+		t.Fatalf("integral = %v, want 2", got)
+	}
+}
+
+func TestIntegrateSharpPeak(t *testing.T) {
+	// A narrow Gaussian: adaptive quadrature must refine near the peak.
+	f := func(x float64) float64 { return math.Exp(-x * x * 400) }
+	var got float64
+	runOn(4, func(w *sched.Worker) { got = Integrate(w, f, -1, 1, 1e-9) })
+	want := math.Sqrt(math.Pi) / 20 // erf(20) ~ 1
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrateDeterministicAcrossWorkers(t *testing.T) {
+	// Summation order is fixed by the recursion tree, not the schedule, so
+	// the result is bit-identical at any worker count.
+	results := make([]float64, 0, 3)
+	for _, workers := range []int{1, 2, 7} {
+		var got float64
+		runOn(workers, func(w *sched.Worker) {
+			got = Integrate(w, func(x float64) float64 { return math.Sin(x*x) + x }, 0, 3, 1e-8)
+		})
+		results = append(results, got)
+	}
+	if results[0] != results[1] || results[1] != results[2] {
+		t.Fatalf("results differ across worker counts: %v", results)
+	}
+}
+
+func TestCountPrimes(t *testing.T) {
+	var got int
+	runOn(4, func(w *sched.Worker) { got = CountPrimes(w, 0, 10000, 128) })
+	if got != 1229 { // pi(10^4)
+		t.Fatalf("primes below 10000 = %d, want 1229", got)
+	}
+}
+
+func TestCountPrimesEdges(t *testing.T) {
+	var a, b, c int
+	runOn(2, func(w *sched.Worker) {
+		a = CountPrimes(w, 0, 0, 8)
+		b = CountPrimes(w, 0, 3, 8)
+		c = CountPrimes(w, 10, 11, 8)
+	})
+	if a != 0 || b != 1 || c != 0 {
+		t.Fatalf("edge counts = %d %d %d", a, b, c)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 97: true}
+	for n := -3; n < 100; n++ {
+		want := primes[n]
+		if !want && n >= 2 {
+			want = true
+			for d := 2; d*d <= n; d++ {
+				if n%d == 0 {
+					want = false
+					break
+				}
+			}
+		}
+		if got := isPrime(n); got != want {
+			t.Fatalf("isPrime(%d) = %v", n, got)
+		}
+	}
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(50)
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(20)
+		}
+		p := partition(data)
+		for i := 0; i < p; i++ {
+			if data[i] > data[p] {
+				t.Fatalf("left element %d > pivot %d", data[i], data[p])
+			}
+		}
+		for i := p + 1; i < n; i++ {
+			if data[i] < data[p] {
+				t.Fatalf("right element %d < pivot %d", data[i], data[p])
+			}
+		}
+	}
+}

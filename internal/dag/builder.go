@@ -1,0 +1,138 @@
+package dag
+
+import "fmt"
+
+// Builder constructs computation dags incrementally. A typical construction
+// mirrors the execution of a multithreaded program: create the root thread,
+// append instruction nodes to it, spawn child threads from nodes, and add
+// synchronization edges for joins and semaphores.
+//
+// Builders are not safe for concurrent use.
+type Builder struct {
+	nodes   []Node
+	threads []threadInfo
+	label   string
+}
+
+// NewBuilder returns an empty Builder. The first call to NewThread creates
+// the root thread (thread 0).
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// SetLabel attaches a human-readable name to the graph under construction.
+func (b *Builder) SetLabel(label string) { b.label = label }
+
+// NewThread creates a new, empty thread and returns its id. The first
+// thread created is the root thread.
+func (b *Builder) NewThread() ThreadID {
+	t := ThreadID(len(b.threads))
+	b.threads = append(b.threads, threadInfo{first: None, last: None})
+	return t
+}
+
+// AddNode appends a new node to thread t and returns its id. If the thread
+// already has nodes, a continuation edge is added from the previous last
+// node to the new node.
+func (b *Builder) AddNode(t ThreadID) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Thread: t})
+	ti := &b.threads[t]
+	if ti.first == None {
+		ti.first = id
+	} else {
+		b.addEdge(ti.last, id, Continuation)
+	}
+	ti.last = id
+	ti.size++
+	return id
+}
+
+// AddChain appends n consecutive nodes to thread t and returns the first and
+// last of them. It panics if n < 1.
+func (b *Builder) AddChain(t ThreadID, n int) (first, last NodeID) {
+	if n < 1 {
+		panic("dag: AddChain requires n >= 1")
+	}
+	first = b.AddNode(t)
+	last = first
+	for i := 1; i < n; i++ {
+		last = b.AddNode(t)
+	}
+	return first, last
+}
+
+// Spawn creates a new thread whose first node is enabled by node from, and
+// returns the new thread's id together with its first node. The spawn edge
+// from -> first is added immediately, so the spawning node must already
+// exist and must have out-degree at most one.
+func (b *Builder) Spawn(from NodeID) (ThreadID, NodeID) {
+	t := b.NewThread()
+	first := b.AddNode(t)
+	b.addEdge(from, first, Spawn)
+	return t, first
+}
+
+// AddSync adds a synchronization edge from -> to, meaning node to cannot
+// execute until node from has executed. Use it for joins (last node of a
+// child thread to a node of the parent) and semaphore-style signalling.
+func (b *Builder) AddSync(from, to NodeID) {
+	b.addEdge(from, to, Sync)
+}
+
+func (b *Builder) addEdge(from, to NodeID, kind EdgeKind) {
+	if from == to {
+		panic(fmt.Sprintf("dag: self edge on node %d", from))
+	}
+	e := Edge{From: from, To: to, Kind: kind}
+	b.nodes[from].Succs = append(b.nodes[from].Succs, e)
+	b.nodes[to].Preds = append(b.nodes[to].Preds, e)
+}
+
+// NumNodes reports how many nodes have been added so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// Build finalizes the graph and validates it. The Builder must not be used
+// after a successful Build.
+func (b *Builder) Build() (*Graph, error) {
+	g := &Graph{nodes: b.nodes, threads: b.threads, label: b.label}
+	if len(b.nodes) == 0 {
+		return nil, ErrEmpty
+	}
+	g.root = None
+	g.final = None
+	for i := range g.nodes {
+		if len(g.nodes[i].Preds) == 0 {
+			if g.root != None {
+				return nil, fmt.Errorf("%w: nodes %d and %d", ErrMultipleRoots, g.root, i)
+			}
+			g.root = NodeID(i)
+		}
+		if len(g.nodes[i].Succs) == 0 {
+			if g.final != None {
+				return nil, fmt.Errorf("%w: nodes %d and %d", ErrMultipleFinal, g.final, i)
+			}
+			g.final = NodeID(i)
+		}
+	}
+	if g.root == None {
+		return nil, ErrMultipleRoots
+	}
+	if g.final == None {
+		return nil, ErrMultipleFinal
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; intended for generators whose
+// output is correct by construction, and for tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

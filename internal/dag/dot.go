@@ -1,0 +1,41 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, with one subgraph
+// cluster per thread (mirroring the shaded regions of the paper's Figure 1),
+// solid edges for continuations, dashed for spawns, and dotted for
+// synchronization edges. Node labels are the paper's 1-based x_k names.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	name := g.label
+	if name == "" {
+		name = "dag"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", name); err != nil {
+		return err
+	}
+	for t := 0; t < g.NumThreads(); t++ {
+		fmt.Fprintf(w, "  subgraph cluster_t%d {\n    label=\"thread %d\";\n", t, t)
+		for i := range g.nodes {
+			if g.nodes[i].Thread == ThreadID(t) {
+				fmt.Fprintf(w, "    x%d;\n", i+1)
+			}
+		}
+		fmt.Fprintf(w, "  }\n")
+	}
+	for _, e := range g.Edges() {
+		style := "solid"
+		switch e.Kind {
+		case Spawn:
+			style = "dashed"
+		case Sync:
+			style = "dotted"
+		}
+		fmt.Fprintf(w, "  x%d -> x%d [style=%s];\n", e.From+1, e.To+1, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,54 @@
+package dag
+
+// Figure1 reconstructs the example computation dag of Figure 1 of the paper:
+// two threads, a spawn edge, a semaphore-style synchronization edge, and a
+// join edge.
+//
+//	root thread:  x1 -> x2 -> x3 -> x4 -> x10 -> x11
+//	child thread: x5 -> x6 -> x7 -> x8 -> x9
+//	spawn edge:   x2 -> x5   (x2 spawns the child thread)
+//	sync edge:    x6 -> x4   (x4 is the P/wait, x6 the V/signal of a semaphore)
+//	join edge:    x9 -> x10  (the child joins the root)
+//
+// The scenarios discussed in Section 3.1 of the paper all arise here: a
+// process executing the root thread blocks at x4 if x6 has not executed yet
+// (Block); executing x6 enables the previously blocked root thread (Enable);
+// executing x2 spawns the child (Spawn); and executing x9 enables x10 and
+// dies simultaneously (Enable+Die: the join).
+//
+// The dag has work T1 = 11, critical-path length Tinf = 9 (the path
+// x1 x2 x5 x6 x7 x8 x9 x10 x11) and parallelism T1/Tinf = 11/9.
+//
+// Figure1 uses zero-based NodeIDs, so the paper's x_k is NodeID k-1.
+func Figure1() *Graph {
+	b := NewBuilder()
+	b.SetLabel("figure1")
+	root := b.NewThread()
+	x1 := b.AddNode(root)
+	x2 := b.AddNode(root)
+	_ = b.AddNode(root) // x3
+	x4 := b.AddNode(root)
+
+	child := b.NewThread()
+	x5 := b.AddNode(child)
+	b.addEdge(x2, x5, Spawn)
+	x6 := b.AddNode(child)
+	b.AddChain(child, 2) // x7, x8
+	x9 := b.AddNode(child)
+
+	x10 := b.AddNode(root)
+	_ = b.AddNode(root) // x11
+
+	b.AddSync(x6, x4)  // semaphore: x4 waits for x6's signal
+	b.AddSync(x9, x10) // join: child's last node enables the root's x10
+
+	_ = x1
+	return b.MustBuild()
+}
+
+// Figure1NodeIDs returns the NodeIDs of the paper's x1..x11 in order, as a
+// convenience for tests and the figure regenerator.
+func Figure1NodeIDs() []NodeID {
+	// Construction order above: x1 x2 x3 x4 | x5 x6 x7 x8 x9 | x10 x11.
+	return []NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+}

@@ -1,0 +1,248 @@
+// Package dag models multithreaded computations as directed acyclic graphs,
+// following Section 1 of Arora, Blumofe and Plaxton, "Thread Scheduling for
+// Multiprogrammed Multiprocessors" (SPAA 1998).
+//
+// Each node represents a single instruction and edges represent ordering
+// constraints. The nodes of a thread are linked by continuation edges that
+// form a chain corresponding to the thread's dynamic instruction order. A
+// spawn edge runs from the spawning node of a parent thread to the first
+// node of the child thread, and a synchronization edge runs from a node that
+// must execute first (for example a semaphore V operation, or the last node
+// of a joining thread) to the node it enables.
+//
+// As in the paper, every node has out-degree at most two, and a well-formed
+// graph has exactly one root node (in-degree zero, the first node of the
+// root thread) and one final node (out-degree zero).
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense: a Graph with n
+// nodes uses IDs 0..n-1.
+type NodeID int32
+
+// None is the sentinel for "no node", used for optional parent and
+// assigned-node slots throughout the repository.
+const None NodeID = -1
+
+// ThreadID identifies a thread within a Graph. Thread 0 is the root thread.
+type ThreadID int32
+
+// EdgeKind distinguishes the three edge categories of the paper's model.
+type EdgeKind uint8
+
+const (
+	// Continuation edges link consecutive nodes of one thread.
+	Continuation EdgeKind = iota
+	// Spawn edges link a spawning node to the first node of a child thread.
+	Spawn
+	// Sync edges represent cross-thread synchronization (joins, semaphores).
+	Sync
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Continuation:
+		return "continuation"
+	case Spawn:
+		return "spawn"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is a directed edge From -> To with a kind.
+type Edge struct {
+	From, To NodeID
+	Kind     EdgeKind
+}
+
+// Node holds the static structure of a single dag node.
+type Node struct {
+	ID     NodeID
+	Thread ThreadID
+	// Succs lists outgoing edges in insertion order. len(Succs) <= 2 in a
+	// valid computation. The order carries no semantics: when executing a
+	// node enables two children, the scheduler may keep either one (the
+	// paper's bounds hold for both choices).
+	Succs []Edge
+	// Preds lists incoming edges. The model places no bound on in-degree,
+	// although a well-formed computation built by Builder has at most two.
+	Preds []Edge
+}
+
+// Graph is an immutable computation dag. Construct one with a Builder, or
+// with one of the generators in package workload.
+type Graph struct {
+	nodes   []Node
+	threads []threadInfo
+	root    NodeID
+	final   NodeID
+	// label is an optional human-readable name used in reports.
+	label string
+}
+
+type threadInfo struct {
+	first, last NodeID
+	size        int
+}
+
+// NumNodes returns the number of nodes, which equals the work T1 of the
+// computation since each node is a single instruction.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumThreads returns the number of threads.
+func (g *Graph) NumThreads() int { return len(g.threads) }
+
+// Root returns the root node: the unique node with in-degree zero.
+func (g *Graph) Root() NodeID { return g.root }
+
+// Final returns the final node: the unique node with out-degree zero.
+func (g *Graph) Final() NodeID { return g.final }
+
+// Label returns the graph's human-readable name, or "" if unset.
+func (g *Graph) Label() string { return g.label }
+
+// Node returns the node with the given id. The returned pointer aliases the
+// graph's storage and must not be mutated.
+func (g *Graph) Node(id NodeID) *Node {
+	return &g.nodes[id]
+}
+
+// Thread returns the id of the thread containing node id.
+func (g *Graph) Thread(id NodeID) ThreadID { return g.nodes[id].Thread }
+
+// ThreadFirst returns the first node of thread t.
+func (g *Graph) ThreadFirst(t ThreadID) NodeID { return g.threads[t].first }
+
+// ThreadLast returns the last node of thread t.
+func (g *Graph) ThreadLast(t ThreadID) NodeID { return g.threads[t].last }
+
+// ThreadSize returns the number of nodes in thread t.
+func (g *Graph) ThreadSize(t ThreadID) int { return g.threads[t].size }
+
+// Succs returns the outgoing edges of node id. The slice aliases graph
+// storage and must not be mutated.
+func (g *Graph) Succs(id NodeID) []Edge { return g.nodes[id].Succs }
+
+// Preds returns the incoming edges of node id. The slice aliases graph
+// storage and must not be mutated.
+func (g *Graph) Preds(id NodeID) []Edge { return g.nodes[id].Preds }
+
+// InDegree returns the number of incoming edges of node id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.nodes[id].Preds) }
+
+// OutDegree returns the number of outgoing edges of node id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.nodes[id].Succs) }
+
+// Validation errors returned by Validate and Builder.Build.
+var (
+	ErrEmpty         = errors.New("dag: graph has no nodes")
+	ErrOutDegree     = errors.New("dag: node out-degree exceeds 2")
+	ErrMultipleRoots = errors.New("dag: graph must have exactly one root node")
+	ErrMultipleFinal = errors.New("dag: graph must have exactly one final node")
+	ErrRootThread    = errors.New("dag: root node must be first node of root thread")
+	ErrCycle         = errors.New("dag: graph contains a cycle")
+	ErrEdgeOrder     = errors.New("dag: sync edge points backwards within a thread")
+)
+
+// Validate checks the structural assumptions of the paper: non-empty,
+// out-degree at most two, exactly one root and one final node, the root is
+// the first node of thread zero, and acyclicity. It returns nil when the
+// graph is a well-formed multithreaded computation.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return ErrEmpty
+	}
+	roots, finals := 0, 0
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if len(n.Succs) > 2 {
+			return fmt.Errorf("%w: node %d has out-degree %d", ErrOutDegree, n.ID, len(n.Succs))
+		}
+		if len(n.Preds) == 0 {
+			roots++
+			if n.ID != g.root {
+				return fmt.Errorf("%w: node %d has in-degree 0 but root is %d", ErrMultipleRoots, n.ID, g.root)
+			}
+		}
+		if len(n.Succs) == 0 {
+			finals++
+			if n.ID != g.final {
+				return fmt.Errorf("%w: node %d has out-degree 0 but final is %d", ErrMultipleFinal, n.ID, g.final)
+			}
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("%w: found %d", ErrMultipleRoots, roots)
+	}
+	if finals != 1 {
+		return fmt.Errorf("%w: found %d", ErrMultipleFinal, finals)
+	}
+	if g.nodes[g.root].Thread != 0 || g.threads[0].first != g.root {
+		return ErrRootThread
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the node ids in a topological order, or ErrCycle if the
+// graph has a cycle. The order is deterministic: among ready nodes the
+// smallest id comes first.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := len(g.nodes)
+	indeg := make([]int32, n)
+	for i := range g.nodes {
+		indeg[i] = int32(len(g.nodes[i].Preds))
+	}
+	// A simple FIFO queue yields a deterministic order because nodes are
+	// enqueued in increasing discovery order.
+	queue := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range g.nodes[u].Succs {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Edges returns all edges of the graph in a deterministic order (by source
+// id, then by position in the source's successor list).
+func (g *Graph) Edges() []Edge {
+	var edges []Edge
+	for i := range g.nodes {
+		edges = append(edges, g.nodes[i].Succs...)
+	}
+	return edges
+}
+
+// String returns a compact description such as "fib(10): 177 nodes, 19 threads".
+func (g *Graph) String() string {
+	name := g.label
+	if name == "" {
+		name = "dag"
+	}
+	return fmt.Sprintf("%s: %d nodes, %d threads", name, len(g.nodes), len(g.threads))
+}

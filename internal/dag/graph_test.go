@@ -1,0 +1,396 @@
+package dag
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderChain(t *testing.T) {
+	b := NewBuilder()
+	root := b.NewThread()
+	first, last := b.AddChain(root, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.Root() != first || g.Final() != last {
+		t.Fatalf("root/final = %d/%d, want %d/%d", g.Root(), g.Final(), first, last)
+	}
+	if g.Work() != 5 || g.CriticalPath() != 5 {
+		t.Fatalf("work/span = %d/%d, want 5/5", g.Work(), g.CriticalPath())
+	}
+	if p := g.Parallelism(); p != 1 {
+		t.Fatalf("parallelism = %v, want 1", p)
+	}
+	if g.NumThreads() != 1 {
+		t.Fatalf("NumThreads = %d, want 1", g.NumThreads())
+	}
+	if g.ThreadFirst(0) != first || g.ThreadLast(0) != last || g.ThreadSize(0) != 5 {
+		t.Fatalf("thread info wrong: %d %d %d", g.ThreadFirst(0), g.ThreadLast(0), g.ThreadSize(0))
+	}
+}
+
+func TestBuilderAddChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddChain(0) did not panic")
+		}
+	}()
+	b := NewBuilder()
+	tid := b.NewThread()
+	b.AddChain(tid, 0)
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestBuildMultipleRoots(t *testing.T) {
+	b := NewBuilder()
+	t0 := b.NewThread()
+	b.AddNode(t0)
+	t1 := b.NewThread()
+	n1 := b.AddNode(t1)
+	last := b.AddNode(t0)
+	b.AddSync(n1, last) // gives thread 1 a successor but it still has in-degree 0
+	_, err := b.Build()
+	if !errors.Is(err, ErrMultipleRoots) {
+		t.Fatalf("err = %v, want ErrMultipleRoots", err)
+	}
+}
+
+func TestBuildMultipleFinals(t *testing.T) {
+	b := NewBuilder()
+	t0 := b.NewThread()
+	n0 := b.AddNode(t0)
+	_, _ = b.Spawn(n0) // child thread's node has no successor
+	b.AddNode(t0)
+	_, err := b.Build()
+	if !errors.Is(err, ErrMultipleFinal) {
+		t.Fatalf("err = %v, want ErrMultipleFinal", err)
+	}
+}
+
+func TestValidateOutDegree(t *testing.T) {
+	b := NewBuilder()
+	t0 := b.NewThread()
+	n0 := b.AddNode(t0)
+	n1 := b.AddNode(t0)
+	_, c1 := b.Spawn(n0)
+	_, c2 := b.Spawn(n0) // n0 now has out-degree 3
+	join := b.AddNode(t0)
+	b.AddSync(c1, join)
+	b.AddSync(c2, join)
+	_ = n1
+	_, err := b.Build()
+	if !errors.Is(err, ErrOutDegree) {
+		t.Fatalf("err = %v, want ErrOutDegree", err)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	g := Figure1()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.Work() != 11 {
+		t.Errorf("work = %d, want 11", g.Work())
+	}
+	if g.CriticalPath() != 9 {
+		t.Errorf("critical path = %d, want 9", g.CriticalPath())
+	}
+	if g.NumThreads() != 2 {
+		t.Errorf("threads = %d, want 2", g.NumThreads())
+	}
+	ids := Figure1NodeIDs()
+	if len(ids) != 11 {
+		t.Fatalf("Figure1NodeIDs has %d entries, want 11", len(ids))
+	}
+	x := func(k int) NodeID { return ids[k-1] }
+	if g.Root() != x(1) {
+		t.Errorf("root = %d, want x1=%d", g.Root(), x(1))
+	}
+	if g.Final() != x(11) {
+		t.Errorf("final = %d, want x11=%d", g.Final(), x(11))
+	}
+	// Spawn edge x2 -> x5.
+	if !hasEdge(g, x(2), x(5), Spawn) {
+		t.Errorf("missing spawn edge x2->x5")
+	}
+	// Semaphore edge x6 -> x4 and join edge x9 -> x10.
+	if !hasEdge(g, x(6), x(4), Sync) {
+		t.Errorf("missing sync edge x6->x4")
+	}
+	if !hasEdge(g, x(9), x(10), Sync) {
+		t.Errorf("missing join edge x9->x10")
+	}
+	// Thread chains.
+	if g.Thread(x(3)) != 0 || g.Thread(x(7)) != 1 {
+		t.Errorf("thread assignment wrong")
+	}
+}
+
+func hasEdge(g *Graph, from, to NodeID, kind EdgeKind) bool {
+	for _, e := range g.Succs(from) {
+		if e.To == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTopoOrderIsValid(t *testing.T) {
+	g := Figure1()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[NodeID]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d->%d violates topological order", e.From, e.To)
+		}
+	}
+}
+
+func TestStateExecutionFigure1(t *testing.T) {
+	g := Figure1()
+	s := NewState(g)
+	ids := Figure1NodeIDs()
+	x := func(k int) NodeID { return ids[k-1] }
+
+	if !s.Ready(x(1)) || s.NumReady() != 1 {
+		t.Fatalf("initially only root should be ready")
+	}
+	en := s.Execute(x(1))
+	if len(en) != 1 || en[0] != x(2) {
+		t.Fatalf("executing x1 enabled %v, want [x2]", en)
+	}
+	en = s.Execute(x(2))
+	if len(en) != 2 {
+		t.Fatalf("executing x2 enabled %v, want two children (x3, x5)", en)
+	}
+	// x4 must not be ready until x6 executes (semaphore blocks the root).
+	s.Execute(x(3))
+	if s.Ready(x(4)) {
+		t.Fatalf("x4 ready before the semaphore signal x6")
+	}
+	s.Execute(x(5))
+	en = s.Execute(x(6))
+	if len(en) != 2 {
+		t.Fatalf("x6 should enable x7 and x4, got %v", en)
+	}
+	if !s.Ready(x(4)) {
+		t.Fatalf("x4 should be ready after x6")
+	}
+	s.Execute(x(4))
+	if s.Ready(x(10)) {
+		t.Fatalf("x10 ready before the join from x9")
+	}
+	s.Execute(x(7))
+	s.Execute(x(8))
+	en = s.Execute(x(9))
+	if len(en) != 1 || en[0] != x(10) {
+		t.Fatalf("x9 should enable exactly x10 (enable+die), got %v", en)
+	}
+	s.Execute(x(10))
+	s.Execute(x(11))
+	if !s.Done() {
+		t.Fatalf("execution should be complete")
+	}
+	// Enabling-tree depths along the designated path.
+	if s.Depth(x(1)) != 0 || s.DesignatedParent(x(1)) != None {
+		t.Errorf("root depth/parent wrong")
+	}
+	if s.DesignatedParent(x(10)) != x(9) {
+		t.Errorf("designated parent of x10 = %d, want x9", s.DesignatedParent(x(10)))
+	}
+	if !s.IsEnablingAncestor(x(1), x(11)) {
+		t.Errorf("root should be enabling ancestor of final")
+	}
+	if w := s.Weight(g.CriticalPath(), x(1)); w != 9 {
+		t.Errorf("weight(root) = %d, want Tinf = 9", w)
+	}
+}
+
+func TestExecutePanics(t *testing.T) {
+	g := Figure1()
+	s := NewState(g)
+	s.Execute(g.Root())
+	t.Run("twice", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double execution did not panic")
+			}
+		}()
+		s.Execute(g.Root())
+	})
+	t.Run("not ready", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("executing unready node did not panic")
+			}
+		}()
+		s.Execute(g.Final())
+	})
+}
+
+func TestWeightOfUnenabledPanics(t *testing.T) {
+	g := Figure1()
+	s := NewState(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weight of un-enabled node did not panic")
+		}
+	}()
+	s.Weight(g.CriticalPath(), g.Final())
+}
+
+// randomSeriesParallel builds a random series-parallel-ish dag by repeatedly
+// spawning and joining, which is always a valid computation dag.
+func randomSeriesParallel(rng *rand.Rand, size int) *Graph {
+	b := NewBuilder()
+	root := b.NewThread()
+	cur := b.AddNode(root)
+	type pending struct {
+		last NodeID // last node of the spawned child
+	}
+	var open []pending
+	for b.NumNodes() < size {
+		switch rng.Intn(3) {
+		case 0: // extend
+			cur = b.AddNode(root)
+		case 1: // spawn a child chain
+			if b.nodes[cur].Succs == nil || len(b.nodes[cur].Succs) < 1 {
+				_, cfirst := b.Spawn(cur)
+				clast := cfirst
+				for i := 0; i < rng.Intn(3); i++ {
+					clast = b.AddNode(b.nodes[cfirst].Thread)
+				}
+				open = append(open, pending{last: clast})
+				cur = b.AddNode(root)
+			}
+		case 2: // join one child
+			if len(open) > 0 {
+				p := open[len(open)-1]
+				open = open[:len(open)-1]
+				cur = b.AddNode(root)
+				b.AddSync(p.last, cur)
+			} else {
+				cur = b.AddNode(root)
+			}
+		}
+	}
+	for _, p := range open {
+		cur = b.AddNode(root)
+		b.AddSync(p.last, cur)
+	}
+	// Ensure a single final node.
+	b.AddNode(root)
+	return b.MustBuild()
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		g := randomSeriesParallel(rng, 20+rng.Intn(200))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("graph %d invalid: %v", i, err)
+		}
+		if g.CriticalPath() > g.Work() {
+			t.Fatalf("graph %d: span %d > work %d", i, g.CriticalPath(), g.Work())
+		}
+	}
+}
+
+// Property: executing any random graph in any ready-respecting order executes
+// every node exactly once, and enabling-tree depths never exceed the
+// critical path.
+func TestQuickExecutionInvariants(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSeriesParallel(rng, 10+int(sz)%150)
+		tinf := g.CriticalPath()
+		s := NewState(g)
+		for !s.Done() {
+			ready := s.ReadyNodes()
+			if len(ready) != s.NumReady() {
+				return false
+			}
+			u := ready[rng.Intn(len(ready))]
+			s.Execute(u)
+			if s.Depth(u) >= tinf {
+				return false // depth must be < Tinf so weight >= 1
+			}
+		}
+		return s.NumExecuted() == g.Work()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := Figure1()
+	levels := g.Levels()
+	if len(levels) != g.CriticalPath() {
+		t.Fatalf("levels = %d, want Tinf = %d", len(levels), g.CriticalPath())
+	}
+	total := 0
+	for _, l := range levels {
+		total += len(l)
+	}
+	if total != g.Work() {
+		t.Fatalf("levels cover %d nodes, want %d", total, g.Work())
+	}
+	if len(levels[0]) != 1 || levels[0][0] != g.Root() {
+		t.Fatalf("level 0 should contain only the root")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	cases := map[EdgeKind]string{Continuation: "continuation", Spawn: "spawn", Sync: "sync", EdgeKind(9): "EdgeKind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := Figure1()
+	if got := g.String(); got != "figure1: 11 nodes, 2 threads" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Figure1()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"figure1\"",
+		"cluster_t0", "cluster_t1",
+		"x2 -> x5 [style=dashed]", // spawn
+		"x6 -> x4 [style=dotted]", // semaphore
+		"x1 -> x2 [style=solid]",  // continuation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package dag
+
+// Work returns T1, the total number of nodes in the dag. Since each node
+// represents a single instruction, T1 is the time a single process needs to
+// execute the computation.
+func (g *Graph) Work() int { return len(g.nodes) }
+
+// CriticalPath returns Tinf, the number of nodes on a longest directed path
+// of the dag (so a serial chain of n nodes has critical-path length n, as in
+// the paper, where the Figure 1 example with a longest path of k nodes has
+// Tinf = k).
+func (g *Graph) CriticalPath() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err) // validated graphs are acyclic
+	}
+	depth := make([]int32, len(g.nodes))
+	best := int32(0)
+	for _, u := range order {
+		d := depth[u] + 1 // path length counted in nodes
+		if d > best {
+			best = d
+		}
+		for _, e := range g.nodes[u].Succs {
+			if d > depth[e.To] {
+				depth[e.To] = d
+			}
+		}
+	}
+	return int(best)
+}
+
+// Parallelism returns T1/Tinf, the average parallelism of the computation.
+func (g *Graph) Parallelism() float64 {
+	return float64(g.Work()) / float64(g.CriticalPath())
+}
+
+// Levels partitions the nodes by longest-path depth from the root: level 0
+// holds the root, and a node is at level d if the longest path from the
+// root to it contains d edges. Level-by-level (Brent) schedules execute the
+// levels in order.
+func (g *Graph) Levels() [][]NodeID {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	depth := make([]int32, len(g.nodes))
+	maxDepth := int32(0)
+	for _, u := range order {
+		for _, e := range g.nodes[u].Succs {
+			if depth[u]+1 > depth[e.To] {
+				depth[e.To] = depth[u] + 1
+			}
+		}
+		if depth[u] > maxDepth {
+			maxDepth = depth[u]
+		}
+	}
+	levels := make([][]NodeID, maxDepth+1)
+	for _, u := range order {
+		levels[depth[u]] = append(levels[depth[u]], u)
+	}
+	return levels
+}

@@ -1,0 +1,141 @@
+package dag
+
+import "fmt"
+
+// State tracks the progress of one execution of a dag: which nodes have
+// executed, which are ready, and the enabling tree built along the way.
+//
+// A node is ready when all of its ancestors have executed. Executing a node
+// u enables every successor v for which u was the last unexecuted
+// predecessor; the edge (u, v) is then an enabling edge and u becomes v's
+// designated parent (Section 3.4 of the paper). Because out-degree is at
+// most two, an execution enables zero, one or two children.
+//
+// State is used by both the offline schedulers and the simulator. It is not
+// safe for concurrent use; the simulator serializes node executions, which
+// matches the paper's convention that each step's instructions behave as
+// some serial order chosen by the kernel.
+type State struct {
+	g         *Graph
+	remaining []int32 // unexecuted predecessor count per node
+	executed  []bool
+	parent    []NodeID // designated parent in the enabling tree, None for root
+	depth     []int32  // depth in the enabling tree, -1 if not yet enabled
+	numExec   int
+	numReady  int
+}
+
+// NewState returns a fresh execution state in which only the root is ready.
+func NewState(g *Graph) *State {
+	n := g.NumNodes()
+	s := &State{
+		g:         g,
+		remaining: make([]int32, n),
+		executed:  make([]bool, n),
+		parent:    make([]NodeID, n),
+		depth:     make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		s.remaining[i] = int32(len(g.nodes[i].Preds))
+		s.parent[i] = None
+		s.depth[i] = -1
+	}
+	s.depth[g.root] = 0
+	s.numReady = 1
+	return s
+}
+
+// Graph returns the graph being executed.
+func (s *State) Graph() *Graph { return s.g }
+
+// Ready reports whether node u is ready: all predecessors executed and u
+// itself not yet executed.
+func (s *State) Ready(u NodeID) bool {
+	return !s.executed[u] && s.remaining[u] == 0
+}
+
+// Executed reports whether node u has been executed.
+func (s *State) Executed(u NodeID) bool { return s.executed[u] }
+
+// NumExecuted returns how many nodes have executed so far.
+func (s *State) NumExecuted() int { return s.numExec }
+
+// NumReady returns how many nodes are currently ready.
+func (s *State) NumReady() int { return s.numReady }
+
+// Done reports whether every node has executed.
+func (s *State) Done() bool { return s.numExec == s.g.NumNodes() }
+
+// Execute marks ready node u as executed and returns the children it
+// enables, in successor order (the continuation edge's target first, when
+// present). It panics if u is not ready, making scheduler bugs loud.
+func (s *State) Execute(u NodeID) []NodeID {
+	var buf [2]NodeID
+	return s.ExecuteInto(u, buf[:0])
+}
+
+// ExecuteInto is Execute appending into the provided slice to avoid
+// allocation in hot scheduler loops.
+func (s *State) ExecuteInto(u NodeID, enabled []NodeID) []NodeID {
+	if s.executed[u] {
+		panic(fmt.Sprintf("dag: node %d executed twice", u))
+	}
+	if s.remaining[u] != 0 {
+		panic(fmt.Sprintf("dag: node %d executed before ready (%d predecessors pending)", u, s.remaining[u]))
+	}
+	s.executed[u] = true
+	s.numExec++
+	s.numReady--
+	for _, e := range s.g.nodes[u].Succs {
+		s.remaining[e.To]--
+		if s.remaining[e.To] == 0 {
+			// (u, e.To) is an enabling edge; u is the designated parent.
+			s.parent[e.To] = u
+			s.depth[e.To] = s.depth[u] + 1
+			s.numReady++
+			enabled = append(enabled, e.To)
+		}
+	}
+	return enabled
+}
+
+// DesignatedParent returns node u's designated parent in the enabling tree,
+// or None if u is the root or has not been enabled yet.
+func (s *State) DesignatedParent(u NodeID) NodeID { return s.parent[u] }
+
+// Depth returns u's depth in the enabling tree, or -1 if u has not been
+// enabled yet. The root has depth 0.
+func (s *State) Depth(u NodeID) int { return int(s.depth[u]) }
+
+// Weight returns w(u) = Tinf - depth(u), the node weight used by the
+// potential-function analysis (Section 3.4). It panics if u has not been
+// enabled, since its enabling-tree depth is then undefined.
+func (s *State) Weight(tinf int, u NodeID) int {
+	if s.depth[u] < 0 {
+		panic(fmt.Sprintf("dag: weight of un-enabled node %d is undefined", u))
+	}
+	return tinf - int(s.depth[u])
+}
+
+// ReadyNodes returns all currently ready nodes in increasing id order.
+// It is O(n) and intended for offline schedulers and tests, not hot loops.
+func (s *State) ReadyNodes() []NodeID {
+	var out []NodeID
+	for i := range s.remaining {
+		if s.remaining[i] == 0 && !s.executed[i] {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// IsEnablingAncestor reports whether node a is an ancestor of node b in the
+// enabling tree built so far (a node is an ancestor of itself).
+func (s *State) IsEnablingAncestor(a, b NodeID) bool {
+	for u := b; u != None; u = s.parent[u] {
+		if u == a {
+			return true
+		}
+	}
+	return false
+}

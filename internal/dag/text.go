@@ -1,0 +1,139 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the graph in a line-oriented text format that
+// ReadText parses back, so computation dags can be exchanged between the
+// command-line tools (abpsim -dagfile) and external generators:
+//
+//	worksteal-dag v1
+//	label <text>
+//	nodes <count> threads <count>
+//	node <id> <thread>          (one per node, in id order)
+//	edge <from> <to> <kind>     (spawn and sync edges only; continuation
+//	                             edges are implied by thread chains)
+//	end
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "worksteal-dag v1")
+	fmt.Fprintf(bw, "label %s\n", g.label)
+	fmt.Fprintf(bw, "nodes %d threads %d\n", len(g.nodes), len(g.threads))
+	for i := range g.nodes {
+		fmt.Fprintf(bw, "node %d %d\n", i, g.nodes[i].Thread)
+	}
+	for _, e := range g.Edges() {
+		if e.Kind == Continuation {
+			continue // implied by thread chain order
+		}
+		fmt.Fprintf(bw, "edge %d %d %s\n", e.From, e.To, e.Kind)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ReadText parses the WriteText format and reconstructs the graph,
+// validating it fully.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "#") {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	hdr, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("dag: reading header: %w", err)
+	}
+	if hdr != "worksteal-dag v1" {
+		return nil, fmt.Errorf("dag: bad header %q", hdr)
+	}
+	lbl, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(lbl, "label") {
+		return nil, fmt.Errorf("dag: expected label line, got %q", lbl)
+	}
+	label := strings.TrimSpace(strings.TrimPrefix(lbl, "label"))
+
+	counts, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var nNodes, nThreads int
+	if _, err := fmt.Sscanf(counts, "nodes %d threads %d", &nNodes, &nThreads); err != nil {
+		return nil, fmt.Errorf("dag: bad counts line %q: %w", counts, err)
+	}
+	if nNodes < 1 || nThreads < 1 || nNodes > 1<<28 {
+		return nil, fmt.Errorf("dag: implausible counts %d nodes, %d threads", nNodes, nThreads)
+	}
+
+	b := NewBuilder()
+	b.SetLabel(label)
+	for t := 0; t < nThreads; t++ {
+		b.NewThread()
+	}
+	for i := 0; i < nNodes; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, err
+		}
+		var id, thread int
+		if _, err := fmt.Sscanf(s, "node %d %d", &id, &thread); err != nil {
+			return nil, fmt.Errorf("dag: bad node line %q: %w", s, err)
+		}
+		if id != i {
+			return nil, fmt.Errorf("dag: node ids must be dense and ordered; got %d at position %d", id, i)
+		}
+		if thread < 0 || thread >= nThreads {
+			return nil, fmt.Errorf("dag: node %d references thread %d of %d", id, thread, nThreads)
+		}
+		if got := b.AddNode(ThreadID(thread)); got != NodeID(i) {
+			return nil, fmt.Errorf("dag: internal id mismatch: %d != %d", got, i)
+		}
+	}
+	for {
+		s, err := line()
+		if err != nil {
+			return nil, err
+		}
+		if s == "end" {
+			break
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 4 || fields[0] != "edge" {
+			return nil, fmt.Errorf("dag: bad edge line %q", s)
+		}
+		from, err1 := strconv.Atoi(fields[1])
+		to, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || from < 0 || from >= nNodes || to < 0 || to >= nNodes {
+			return nil, fmt.Errorf("dag: bad edge endpoints %q", s)
+		}
+		var kind EdgeKind
+		switch fields[3] {
+		case "spawn":
+			kind = Spawn
+		case "sync":
+			kind = Sync
+		default:
+			return nil, fmt.Errorf("dag: bad edge kind %q (continuations are implied)", fields[3])
+		}
+		b.addEdge(NodeID(from), NodeID(to), kind)
+	}
+	return b.Build()
+}

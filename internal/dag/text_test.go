@@ -1,0 +1,132 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripFigure1(t *testing.T) {
+	g := Figure1()
+	var sb strings.Builder
+	if err := g.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadText: %v\ninput:\n%s", err, sb.String())
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumThreads() != b.NumThreads() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	if a.Label() != b.Label() {
+		t.Errorf("labels differ: %q vs %q", a.Label(), b.Label())
+	}
+	if a.Root() != b.Root() || a.Final() != b.Final() {
+		t.Errorf("root/final differ")
+	}
+	if a.Work() != b.Work() || a.CriticalPath() != b.CriticalPath() {
+		t.Errorf("metrics differ: %d/%d vs %d/%d", a.Work(), a.CriticalPath(), b.Work(), b.CriticalPath())
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ae), len(be))
+	}
+	have := map[Edge]bool{}
+	for _, e := range be {
+		have[e] = true
+	}
+	for _, e := range ae {
+		if !have[e] {
+			t.Fatalf("edge %v missing after round trip", e)
+		}
+	}
+}
+
+func TestTextRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		g := randomSeriesParallel(rng, 20+rng.Intn(200))
+		var sb strings.Builder
+		if err := g.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "not-a-dag v9\n",
+		"missing label":   "worksteal-dag v1\nnodes 1 threads 1\n",
+		"bad counts":      "worksteal-dag v1\nlabel x\nnodes -3 threads 0\n",
+		"sparse ids":      "worksteal-dag v1\nlabel x\nnodes 2 threads 1\nnode 0 0\nnode 5 0\nend\n",
+		"bad thread":      "worksteal-dag v1\nlabel x\nnodes 1 threads 1\nnode 0 9\nend\n",
+		"bad edge":        "worksteal-dag v1\nlabel x\nnodes 2 threads 1\nnode 0 0\nnode 1 0\nedge 0 9 sync\nend\n",
+		"bad edge kind":   "worksteal-dag v1\nlabel x\nnodes 2 threads 1\nnode 0 0\nnode 1 0\nedge 0 1 continuation\nend\n",
+		"truncated":       "worksteal-dag v1\nlabel x\nnodes 2 threads 1\nnode 0 0\n",
+		"invalid (cycle)": "worksteal-dag v1\nlabel x\nnodes 2 threads 2\nnode 0 0\nnode 1 1\nedge 0 1 spawn\nedge 1 0 sync\nend\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	input := `worksteal-dag v1
+# a comment
+label demo
+
+nodes 2 threads 1
+node 0 0
+node 1 0
+end
+`
+	g, err := ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.Label() != "demo" {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+// FuzzReadText throws arbitrary bytes at the parser (no panics allowed) and
+// round-trips anything it accepts.
+func FuzzReadText(f *testing.F) {
+	var sb strings.Builder
+	Figure1().WriteText(&sb)
+	f.Add(sb.String())
+	f.Add("worksteal-dag v1\nlabel x\nnodes 1 threads 1\nnode 0 0\nend\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid graph: %v", err)
+		}
+		var out strings.Builder
+		if err := g.WriteText(&out); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadText(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		assertGraphsEqual(t, g, g2)
+	})
+}

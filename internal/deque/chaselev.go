@@ -1,0 +1,120 @@
+package deque
+
+import "sync/atomic"
+
+// ChaseLev is the dynamic circular work-stealing deque of Chase and Lev
+// (SPAA 2005), the direct successor of the ABP deque implemented here as
+// the paper's natural "unbounded deque" extension. It removes the two ABP
+// limitations this package's Deque inherits from Figure 5:
+//
+//   - capacity is unbounded: the owner grows the circular buffer when full
+//     (thieves keep reading the old buffer safely; the garbage collector
+//     handles reclamation, which is why this algorithm is so pleasant in Go);
+//   - no tag is needed: top only ever increases (it is never reset), so the
+//     ABA problem the ABP tag solves cannot arise.
+//
+// The owner contract is the same as Deque: PushBottom and PopBottom are
+// owner-only, PopTop is for everyone.
+type ChaseLev[T any] struct {
+	top    atomic.Int64 // next index to steal; monotonically increasing
+	bottom atomic.Int64 // next index to push
+	array  atomic.Pointer[clRing[T]]
+}
+
+// clRing is a power-of-two circular buffer.
+type clRing[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newCLRing[T any](logSize uint) *clRing[T] {
+	n := int64(1) << logSize
+	return &clRing[T]{mask: n - 1, buf: make([]atomic.Pointer[T], n)}
+}
+
+func (r *clRing[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
+func (r *clRing[T]) put(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+func (r *clRing[T]) size() int64       { return r.mask + 1 }
+
+// grow returns a ring of twice the size holding [top, bottom).
+func (r *clRing[T]) grow(top, bottom int64) *clRing[T] {
+	bigger := &clRing[T]{mask: 2*r.size() - 1, buf: make([]atomic.Pointer[T], 2*r.size())}
+	for i := top; i < bottom; i++ {
+		bigger.put(i, r.get(i))
+	}
+	return bigger
+}
+
+// NewChaseLev returns an empty unbounded deque with a small initial buffer.
+func NewChaseLev[T any]() *ChaseLev[T] {
+	d := &ChaseLev[T]{}
+	d.array.Store(newCLRing[T](6)) // 64 slots to start
+	return d
+}
+
+var _ Dequer[int] = (*ChaseLev[int])(nil)
+
+// Len estimates the number of items (exact for the owner when quiescent).
+func (d *ChaseLev[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b <= t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// PushBottom appends node at the bottom, growing the buffer if needed. It
+// always succeeds (the deque is unbounded) and returns true, satisfying the
+// Dequer interface.
+func (d *ChaseLev[T]) PushBottom(node *T) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t >= a.size() {
+		a = a.grow(t, b)
+		d.array.Store(a)
+	}
+	a.put(b, node)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// PopBottom removes and returns the bottommost item, or nil when empty.
+func (d *ChaseLev[T]) PopBottom() *T {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	node := a.get(b)
+	if b > t {
+		return node // more than one item: no race possible
+	}
+	// Single item: race thieves for it by advancing top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		node = nil // a thief won
+	}
+	d.bottom.Store(t + 1)
+	return node
+}
+
+// PopTop steals the topmost item. Like the ABP popTop it may return nil
+// under contention (relaxed semantics).
+func (d *ChaseLev[T]) PopTop() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	a := d.array.Load()
+	node := a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return node
+}

@@ -1,0 +1,36 @@
+package deque_test
+
+import (
+	"fmt"
+
+	"worksteal/internal/deque"
+)
+
+// The owner pushes and pops at the bottom; thieves steal from the top.
+func ExampleDeque() {
+	d := deque.NewWithCapacity[string](8)
+	a, b, c := "oldest", "middle", "newest"
+	d.PushBottom(&a)
+	d.PushBottom(&b)
+	d.PushBottom(&c)
+
+	fmt.Println(*d.PopTop())    // a thief takes the oldest work
+	fmt.Println(*d.PopBottom()) // the owner takes the newest
+	fmt.Println(d.Len())
+	// Output:
+	// oldest
+	// newest
+	// 1
+}
+
+// The Chase-Lev variant grows without bound and needs no tag.
+func ExampleChaseLev() {
+	d := deque.NewChaseLev[int]()
+	vals := make([]int, 1000)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i]) // never fails
+	}
+	fmt.Println(d.Len(), *d.PopTop(), *d.PopBottom())
+	// Output: 1000 0 999
+}

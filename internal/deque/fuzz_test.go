@@ -1,0 +1,59 @@
+package deque
+
+import "testing"
+
+// FuzzOwnerOpsAgainstModel drives the ABP and Chase-Lev deques through an
+// arbitrary owner-side operation sequence and compares every result against
+// the sequential reference model (owner-only usage must meet the ideal
+// semantics exactly).
+func FuzzOwnerOpsAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 1, 1, 2, 2})
+	f.Add([]byte{2, 2, 2, 0, 2, 1})
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		impls := map[string]Dequer[int]{
+			"abp":      NewWithCapacity[int](128),
+			"chaselev": NewChaseLev[int](),
+		}
+		for name, d := range impls {
+			var model []*int
+			next := 0
+			for _, op := range ops {
+				switch op % 3 {
+				case 0:
+					v := next
+					next++
+					vp := &v
+					if d.PushBottom(vp) {
+						model = append(model, vp)
+					} else if len(model) < 128 {
+						t.Fatalf("%s: push failed below capacity", name)
+					}
+				case 1:
+					got := d.PopBottom()
+					var want *int
+					if len(model) > 0 {
+						want = model[len(model)-1]
+						model = model[:len(model)-1]
+					}
+					if got != want {
+						t.Fatalf("%s: PopBottom = %v, want %v", name, got, want)
+					}
+				case 2:
+					got := d.PopTop()
+					var want *int
+					if len(model) > 0 {
+						want = model[0]
+						model = model[1:]
+					}
+					if got != want {
+						t.Fatalf("%s: PopTop = %v, want %v", name, got, want)
+					}
+				}
+				if d.Len() != len(model) {
+					t.Fatalf("%s: Len = %d, want %d", name, d.Len(), len(model))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package deque
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// This file checks linearizability of the native ABP deque implementation
+// under the paper's relaxed semantics (Section 3.2) by recording small
+// concurrent histories with real goroutines and then searching for a valid
+// linearization:
+//
+//   - every operation takes effect atomically between its invocation and
+//     response;
+//   - pushBottom/popBottom/non-NIL popTop follow the sequential deque
+//     semantics;
+//   - a popTop may return NIL (without an empty linearization point) only
+//     if some successful removal overlapped it — the relaxed rule "the
+//     topmost item is removed by another process during the invocation".
+
+const (
+	opPush = iota
+	opPopBottom
+	opPopTop
+)
+
+type histOp struct {
+	kind      int
+	val       int // pushed value, or result (-1 for NIL)
+	inv, resp int64
+}
+
+func (h histOp) String() string {
+	names := []string{"push", "popBottom", "popTop"}
+	return fmt.Sprintf("%s(%d)@[%d,%d]", names[h.kind], h.val, h.inv, h.resp)
+}
+
+// recordHistory runs a small random concurrent burst against a fresh deque
+// and returns the recorded operations.
+func recordHistory(rng *rand.Rand, ownerOps, thiefCount, thiefOps int) []histOp {
+	d := NewWithCapacity[int](64)
+	var clock atomic.Int64
+	var mu sync.Mutex
+	var history []histOp
+	record := func(op histOp) {
+		mu.Lock()
+		history = append(history, op)
+		mu.Unlock()
+	}
+
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = i
+	}
+	plan := make([]int, ownerOps) // owner op kinds, fixed up front
+	for i := range plan {
+		if rng.Intn(2) == 0 {
+			plan[i] = opPush
+		} else {
+			plan[i] = opPopBottom
+		}
+	}
+
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	next := 0
+	wg.Add(1)
+	go func() { // owner
+		defer wg.Done()
+		start.Wait()
+		for _, kind := range plan {
+			switch kind {
+			case opPush:
+				v := next
+				next++
+				inv := clock.Add(1)
+				d.PushBottom(&vals[v])
+				resp := clock.Add(1)
+				record(histOp{kind: opPush, val: v, inv: inv, resp: resp})
+			case opPopBottom:
+				inv := clock.Add(1)
+				got := d.PopBottom()
+				resp := clock.Add(1)
+				v := -1
+				if got != nil {
+					v = *got
+				}
+				record(histOp{kind: opPopBottom, val: v, inv: inv, resp: resp})
+			}
+		}
+	}()
+	for tIdx := 0; tIdx < thiefCount; tIdx++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < thiefOps; i++ {
+				inv := clock.Add(1)
+				got := d.PopTop()
+				resp := clock.Add(1)
+				v := -1
+				if got != nil {
+					v = *got
+				}
+				record(histOp{kind: opPopTop, val: v, inv: inv, resp: resp})
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	return history
+}
+
+// linearizable searches for a valid linearization of the history under the
+// relaxed semantics.
+func linearizable(history []histOp) bool {
+	n := len(history)
+	if n > 20 {
+		panic("history too long for search")
+	}
+	// Precompute which NIL popTops are excused by an overlapping successful
+	// removal (relaxed semantics); un-excused NIL popTops must linearize at
+	// an empty-deque point.
+	excused := make([]bool, n)
+	for i, op := range history {
+		if op.kind == opPopTop && op.val == -1 {
+			for j, other := range history {
+				if j == i {
+					continue
+				}
+				removal := (other.kind == opPopTop || other.kind == opPopBottom) && other.val != -1
+				overlaps := other.inv < op.resp && op.inv < other.resp
+				if removal && overlaps {
+					excused[i] = true
+					break
+				}
+			}
+		}
+	}
+
+	used := make([]bool, n)
+	var state []int // deque model; state[0] is the top
+	seen := map[string]bool{}
+
+	var dfs func(done int) bool
+	dfs = func(done int) bool {
+		if done == n {
+			return true
+		}
+		key := stateKey(used, state)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time order: i may linearize next only if no unused op
+			// finished before i was invoked.
+			minimal := true
+			for j := 0; j < n; j++ {
+				if !used[j] && j != i && history[j].resp < history[i].inv {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			op := history[i]
+			switch op.kind {
+			case opPush:
+				state = append(state, op.val)
+				used[i] = true
+				if dfs(done + 1) {
+					return true
+				}
+				used[i] = false
+				state = state[:len(state)-1]
+			case opPopBottom:
+				if op.val == -1 {
+					if len(state) == 0 {
+						used[i] = true
+						if dfs(done + 1) {
+							return true
+						}
+						used[i] = false
+					}
+				} else if len(state) > 0 && state[len(state)-1] == op.val {
+					saved := state[len(state)-1]
+					state = state[:len(state)-1]
+					used[i] = true
+					if dfs(done + 1) {
+						return true
+					}
+					used[i] = false
+					state = append(state, saved)
+				}
+			case opPopTop:
+				if op.val == -1 {
+					if len(state) == 0 || excused[i] {
+						// Excused NIL popTops are no-ops at any point.
+						used[i] = true
+						if dfs(done + 1) {
+							return true
+						}
+						used[i] = false
+					}
+				} else if len(state) > 0 && state[0] == op.val {
+					saved := state[0]
+					state = state[1:]
+					used[i] = true
+					if dfs(done + 1) {
+						return true
+					}
+					used[i] = false
+					state = append([]int{saved}, state...)
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0)
+}
+
+func stateKey(used []bool, state []int) string {
+	return fmt.Sprintf("%v|%v", used, state)
+}
+
+func TestLinearizabilityRandomHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	histories := 0
+	for trial := 0; trial < 300; trial++ {
+		h := recordHistory(rng, 4+rng.Intn(3), 1+rng.Intn(2), 1+rng.Intn(3))
+		if len(h) > 12 {
+			continue
+		}
+		histories++
+		if !linearizable(h) {
+			t.Fatalf("trial %d: history not linearizable under relaxed semantics:\n%v", trial, h)
+		}
+	}
+	if histories < 100 {
+		t.Fatalf("only %d histories checked", histories)
+	}
+}
+
+// The checker itself must reject genuinely broken histories.
+func TestLinearizabilityCheckerRejectsBadHistories(t *testing.T) {
+	cases := map[string][]histOp{
+		"pop before push": {
+			{kind: opPopBottom, val: 5, inv: 1, resp: 2},
+			{kind: opPush, val: 5, inv: 3, resp: 4},
+		},
+		"duplicate take": {
+			{kind: opPush, val: 1, inv: 1, resp: 2},
+			{kind: opPopTop, val: 1, inv: 3, resp: 4},
+			{kind: opPopBottom, val: 1, inv: 5, resp: 6},
+		},
+		"wrong LIFO order": {
+			{kind: opPush, val: 1, inv: 1, resp: 2},
+			{kind: opPush, val: 2, inv: 3, resp: 4},
+			{kind: opPopBottom, val: 1, inv: 5, resp: 6},
+			{kind: opPopBottom, val: 2, inv: 7, resp: 8},
+		},
+		"unexcused NIL popTop": {
+			{kind: opPush, val: 1, inv: 1, resp: 2},
+			{kind: opPopTop, val: -1, inv: 3, resp: 4}, // nothing overlaps it
+			{kind: opPopTop, val: 1, inv: 5, resp: 6},
+		},
+	}
+	for name, h := range cases {
+		if linearizable(h) {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Sanity: sequential histories are accepted.
+func TestLinearizabilityCheckerAcceptsGoodHistories(t *testing.T) {
+	cases := map[string][]histOp{
+		"simple": {
+			{kind: opPush, val: 1, inv: 1, resp: 2},
+			{kind: opPush, val: 2, inv: 3, resp: 4},
+			{kind: opPopTop, val: 1, inv: 5, resp: 6},
+			{kind: opPopBottom, val: 2, inv: 7, resp: 8},
+		},
+		"empty NILs": {
+			{kind: opPopTop, val: -1, inv: 1, resp: 2},
+			{kind: opPopBottom, val: -1, inv: 3, resp: 4},
+		},
+		"excused NIL under contention": {
+			{kind: opPush, val: 1, inv: 1, resp: 2},
+			{kind: opPush, val: 2, inv: 3, resp: 4},
+			// Two overlapping popTops: one succeeds, one NILs out, even
+			// though item 2 is still there.
+			{kind: opPopTop, val: 1, inv: 5, resp: 8},
+			{kind: opPopTop, val: -1, inv: 6, resp: 9},
+		},
+		"concurrent overlap reorder": {
+			// push and popTop overlap: the pop may see the push's value.
+			{kind: opPush, val: 1, inv: 1, resp: 5},
+			{kind: opPopTop, val: 1, inv: 2, resp: 6},
+		},
+	}
+	for name, h := range cases {
+		if !linearizable(h) {
+			t.Errorf("%s: rejected", name)
+		}
+	}
+}

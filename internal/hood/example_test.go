@@ -1,0 +1,36 @@
+package hood_test
+
+import (
+	"fmt"
+
+	"worksteal/internal/hood"
+	"worksteal/internal/sched"
+)
+
+// A producer thread signals a semaphore that a consumer thread waits on:
+// the paper's Block and Enable transitions as a program.
+func Example() {
+	sem := hood.NewSemaphore(0)
+	pool := sched.New(sched.Config{Workers: 1})
+
+	hood.Run(pool, func(w *sched.Worker) hood.Action {
+		return hood.Spawn(
+			// Consumer: blocks until the producer signals.
+			func(w *sched.Worker) hood.Action {
+				return hood.Wait(sem, func(w *sched.Worker) hood.Action {
+					fmt.Println("consumed")
+					return hood.Die()
+				})
+			},
+			// Producer.
+			func(w *sched.Worker) hood.Action {
+				fmt.Println("produced")
+				sem.Signal(w)
+				return hood.Die()
+			},
+		)
+	})
+	// Output:
+	// produced
+	// consumed
+}

@@ -1,0 +1,263 @@
+// Package hood is a user-level threads layer over the work-stealing pool,
+// modeled on the Hood C++ threads library in which the paper's scheduler
+// shipped [Blumofe & Papadopoulos 1999]. It exposes the paper's thread
+// model directly: a thread is a chain of instruction segments separated by
+// synchronization actions, and every transition of Section 3.1 — Die,
+// Block, Enable, Spawn — maps onto the scheduler exactly as in the paper:
+//
+//   - Die: the segment returns Die(); the worker pops its next task from
+//     the bottom of its deque.
+//   - Spawn: the segment returns Spawn(child, next); one ready thread is
+//     pushed on the deque bottom and the other becomes the assigned thread.
+//   - Block: the segment returns Wait(sem, next); if the semaphore has no
+//     units, the continuation parks on the semaphore's wait list and the
+//     worker pops new work — the thread costs nothing while blocked.
+//   - Enable: Signal(sem) hands a unit to a parked continuation, making
+//     that thread ready and pushing it onto the signaller's deque.
+//
+// Because Go cannot migrate goroutine stacks between schedulers, threads
+// are written in continuation-passing style: each Segment runs to its next
+// synchronization action and says what happens next. This is the same
+// compromise the paper's own analysis makes when it "ignores threads" and
+// treats the deques as holding ready nodes.
+package hood
+
+import (
+	"sync"
+
+	"worksteal/internal/sched"
+)
+
+// Segment is one run of thread instructions between synchronization
+// actions. It receives the worker executing it and returns the thread's
+// next action.
+type Segment func(w *sched.Worker) Action
+
+type actionKind uint8
+
+const (
+	actDie actionKind = iota
+	actContinue
+	actSpawn
+	actWait
+)
+
+// Action is what a thread does at the end of a segment. Construct one with
+// Die, Continue, Spawn or Wait.
+type Action struct {
+	kind    actionKind
+	next    Segment
+	child   Segment
+	sem     *Semaphore
+	barrier *Barrier
+}
+
+// Die ends the thread (the Die transition).
+func Die() Action { return Action{kind: actDie} }
+
+// Continue proceeds to the next segment of the same thread with no
+// synchronization (the "enables 1 child" case: the worker keeps executing).
+func Continue(next Segment) Action { return Action{kind: actContinue, next: next} }
+
+// Spawn creates a child thread and continues this thread (the Spawn
+// transition): the parent's continuation is pushed onto the deque bottom
+// and the child runs first, the depth-first order the paper notes is
+// common. Passing next = nil spawns and dies.
+func Spawn(child, next Segment) Action { return Action{kind: actSpawn, child: child, next: next} }
+
+// Wait performs a P operation on sem before next runs (the Block
+// transition when no unit is available, otherwise a plain continue).
+func Wait(sem *Semaphore, next Segment) Action { return Action{kind: actWait, sem: sem, next: next} }
+
+// Run executes a root thread on the pool and returns when every thread has
+// died or blocked. Threads still parked on semaphores when Run returns are
+// deadlocked; inspect them with Semaphore.Waiters.
+func Run(p *sched.Pool, root Segment) {
+	p.Run(func(w *sched.Worker) { step(w, root) })
+}
+
+// step drives one thread until it dies, blocks, or hands itself to the
+// scheduler.
+func step(w *sched.Worker, seg Segment) {
+	for seg != nil {
+		act := seg(w)
+		switch act.kind {
+		case actDie:
+			return
+		case actContinue:
+			seg = act.next
+		case actSpawn:
+			// Push the parent continuation, run the child: when un-stolen,
+			// execution is the serial depth-first order.
+			if act.next != nil {
+				next := act.next
+				w.Spawn(func(w2 *sched.Worker) { step(w2, next) })
+			}
+			seg = act.child
+		case actWait:
+			next := act.next
+			if act.barrier != nil {
+				release, last := act.barrier.arriveOrPark(next)
+				if !last {
+					return // parked until the last arrival
+				}
+				for _, cont := range release {
+					c := cont
+					w.Spawn(func(w2 *sched.Worker) { step(w2, c) })
+				}
+				seg = next
+				continue
+			}
+			if act.sem.acquireOrPark(next) {
+				seg = next // a unit was available: no blocking
+			} else {
+				return // parked: the thread costs nothing while blocked
+			}
+		}
+	}
+}
+
+// Semaphore is a counting semaphore in the sense of the paper's Figure 1
+// example (Dijkstra's P and V): node x4 is the P, node x6 the V. Blocked
+// threads park their continuations here; V hands a unit to the oldest
+// parked continuation and reschedules it (the Enable transition).
+type Semaphore struct {
+	mu      sync.Mutex
+	units   int
+	waiters []Segment
+}
+
+// NewSemaphore returns a semaphore with the given initial value.
+func NewSemaphore(initial int) *Semaphore {
+	if initial < 0 {
+		panic("hood: negative semaphore value")
+	}
+	return &Semaphore{units: initial}
+}
+
+// acquireOrPark consumes a unit if available; otherwise it parks cont and
+// reports false.
+func (s *Semaphore) acquireOrPark(cont Segment) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.units > 0 {
+		s.units--
+		return true
+	}
+	s.waiters = append(s.waiters, cont)
+	return false
+}
+
+// Signal is the V operation: if a thread is parked, its continuation is
+// enabled and pushed onto the signalling worker's deque; otherwise a unit
+// accumulates.
+func (s *Semaphore) Signal(w *sched.Worker) {
+	s.mu.Lock()
+	var cont Segment
+	if len(s.waiters) > 0 {
+		cont = s.waiters[0]
+		s.waiters = s.waiters[1:]
+	} else {
+		s.units++
+	}
+	s.mu.Unlock()
+	if cont != nil {
+		w.Spawn(func(w2 *sched.Worker) { step(w2, cont) })
+	}
+}
+
+// Waiters returns the number of threads currently parked (deadlocked
+// threads if Run has returned).
+func (s *Semaphore) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+// Units returns the semaphore's current value.
+func (s *Semaphore) Units() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.units
+}
+
+// Join makes one thread wait for n others: the classic join of Figure 1
+// (edge x9 -> x10), expressed as a semaphore the joining thread P's once
+// per child and each child V's when it dies.
+type Join struct {
+	sem *Semaphore
+	n   int
+}
+
+// NewJoin returns a join barrier for n children.
+func NewJoin(n int) *Join {
+	if n < 0 {
+		panic("hood: negative join count")
+	}
+	return &Join{sem: NewSemaphore(0), n: n}
+}
+
+// Done signals one child's completion.
+func (j *Join) Done(w *sched.Worker) { j.sem.Signal(w) }
+
+// Wait returns an Action that proceeds to next once all n children have
+// called Done. It consumes the units one at a time, blocking between them
+// when children are still running.
+func (j *Join) Wait(next Segment) Action {
+	return waitN(j.sem, j.n, next)
+}
+
+// waitN chains n P operations before next.
+func waitN(sem *Semaphore, n int, next Segment) Action {
+	if n == 0 {
+		return Continue(next)
+	}
+	return Wait(sem, func(w *sched.Worker) Action {
+		return waitN(sem, n-1, next)
+	})
+}
+
+// Barrier is a single-use rendezvous for n threads: each thread Arrives
+// with its continuation, and all n continuations become ready together when
+// the last one arrives. Built from the same Enable mechanics as Semaphore:
+// the last arrival enables everyone (each enablement is a deque push).
+type Barrier struct {
+	mu      sync.Mutex
+	needed  int
+	arrived []Segment
+}
+
+// NewBarrier returns a barrier for n threads.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("hood: barrier needs n >= 1")
+	}
+	return &Barrier{needed: n}
+}
+
+// Arrive returns an Action that parks the thread until all n threads have
+// arrived; the last arrival releases everyone and continues immediately.
+func (b *Barrier) Arrive(next Segment) Action {
+	return Action{kind: actWait, sem: nil, next: next, child: nil, barrier: b}
+}
+
+// arriveOrPark parks cont unless it is the last arrival, in which case it
+// returns the continuations to release.
+func (b *Barrier) arriveOrPark(cont Segment) (release []Segment, last bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.arrived)+1 == b.needed {
+		release = b.arrived
+		b.arrived = nil
+		return release, true
+	}
+	b.arrived = append(b.arrived, cont)
+	return nil, false
+}
+
+// Waiting returns how many threads are parked at the barrier.
+func (b *Barrier) Waiting() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.arrived)
+}

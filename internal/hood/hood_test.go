@@ -1,0 +1,417 @@
+package hood
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"worksteal/internal/sched"
+)
+
+func pool(workers int) *sched.Pool { return sched.New(sched.Config{Workers: workers}) }
+
+func TestSingleThreadDies(t *testing.T) {
+	var ran atomic.Int32
+	Run(pool(2), func(w *sched.Worker) Action {
+		ran.Add(1)
+		return Die()
+	})
+	if ran.Load() != 1 {
+		t.Fatalf("ran = %d", ran.Load())
+	}
+}
+
+func TestContinueChain(t *testing.T) {
+	var trace []int
+	var seg func(k int) Segment
+	seg = func(k int) Segment {
+		return func(w *sched.Worker) Action {
+			trace = append(trace, k)
+			if k == 5 {
+				return Die()
+			}
+			return Continue(seg(k + 1))
+		}
+	}
+	Run(pool(1), seg(1))
+	if len(trace) != 5 {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i, v := range trace {
+		if v != i+1 {
+			t.Fatalf("trace = %v", trace)
+		}
+	}
+}
+
+func TestSpawnRunsChildFirstWhenUnstolen(t *testing.T) {
+	// With one worker, Spawn pushes the parent continuation and runs the
+	// child: serial depth-first order.
+	var trace []string
+	var mu sync.Mutex
+	log := func(s string) {
+		mu.Lock()
+		trace = append(trace, s)
+		mu.Unlock()
+	}
+	Run(pool(1), func(w *sched.Worker) Action {
+		log("parent-pre")
+		return Spawn(
+			func(w *sched.Worker) Action { log("child"); return Die() },
+			func(w *sched.Worker) Action { log("parent-post"); return Die() },
+		)
+	})
+	want := []string{"parent-pre", "child", "parent-post"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSpawnAndDie(t *testing.T) {
+	var count atomic.Int32
+	Run(pool(2), func(w *sched.Worker) Action {
+		return Spawn(func(w *sched.Worker) Action {
+			count.Add(1)
+			return Die()
+		}, nil) // spawn and die
+	})
+	if count.Load() != 1 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestSemaphoreHandoff(t *testing.T) {
+	sem := NewSemaphore(0)
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	Run(pool(2), func(w *sched.Worker) Action {
+		return Spawn(
+			// Child: waits on the semaphore.
+			func(w *sched.Worker) Action {
+				log("child-wait")
+				return Wait(sem, func(w *sched.Worker) Action {
+					log("child-resumed")
+					return Die()
+				})
+			},
+			// Parent: signals.
+			func(w *sched.Worker) Action {
+				log("parent-signal")
+				sem.Signal(w)
+				return Die()
+			},
+		)
+	})
+	if sem.Waiters() != 0 {
+		t.Fatalf("waiters = %d after run", sem.Waiters())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, s := range order {
+		if s == "child-resumed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("child never resumed: %v", order)
+	}
+}
+
+func TestSemaphorePreSignaled(t *testing.T) {
+	sem := NewSemaphore(2)
+	var resumed atomic.Int32
+	Run(pool(2), func(w *sched.Worker) Action {
+		return Wait(sem, func(w *sched.Worker) Action {
+			resumed.Add(1)
+			return Wait(sem, func(w *sched.Worker) Action {
+				resumed.Add(1)
+				return Die()
+			})
+		})
+	})
+	if resumed.Load() != 2 {
+		t.Fatalf("resumed = %d", resumed.Load())
+	}
+	if sem.Units() != 0 {
+		t.Fatalf("units = %d", sem.Units())
+	}
+}
+
+func TestDeadlockLeavesWaiters(t *testing.T) {
+	sem := NewSemaphore(0)
+	Run(pool(2), func(w *sched.Worker) Action {
+		return Wait(sem, func(w *sched.Worker) Action { return Die() })
+	})
+	// Run returned even though the thread is parked forever: the paper's
+	// model has no deadlock detection either; the thread just never becomes
+	// ready. The semaphore exposes it.
+	if sem.Waiters() != 1 {
+		t.Fatalf("waiters = %d, want 1", sem.Waiters())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	const children = 8
+	j := NewJoin(children)
+	var childRuns, joined atomic.Int32
+	Run(pool(4), func(w *sched.Worker) Action {
+		// Spawn children, then wait for all of them.
+		var spawnK func(k int) Action
+		spawnK = func(k int) Action {
+			if k == 0 {
+				return j.Wait(func(w *sched.Worker) Action {
+					joined.Add(1)
+					return Die()
+				})
+			}
+			return Spawn(
+				func(w *sched.Worker) Action {
+					childRuns.Add(1)
+					j.Done(w)
+					return Die()
+				},
+				func(w *sched.Worker) Action { return spawnK(k - 1) },
+			)
+		}
+		return spawnK(children)
+	})
+	if childRuns.Load() != children {
+		t.Fatalf("children ran %d times", childRuns.Load())
+	}
+	if joined.Load() != 1 {
+		t.Fatalf("join continuation ran %d times", joined.Load())
+	}
+}
+
+func TestJoinZero(t *testing.T) {
+	j := NewJoin(0)
+	var ran atomic.Int32
+	Run(pool(1), func(w *sched.Worker) Action {
+		return j.Wait(func(w *sched.Worker) Action {
+			ran.Add(1)
+			return Die()
+		})
+	})
+	if ran.Load() != 1 {
+		t.Fatal("zero-join continuation did not run")
+	}
+}
+
+// TestFigure1Program runs the paper's Figure 1 computation as a real Hood
+// program: the root thread executes x1..x4, x10, x11; x2 spawns the child
+// thread x5..x9; x4 P's the semaphore that x6 V's; x10 joins the child.
+func TestFigure1Program(t *testing.T) {
+	for _, workers := range []int{1, 2, 3} {
+		sem := NewSemaphore(0) // the x6 -> x4 semaphore
+		join := NewJoin(1)     // the x9 -> x10 join
+		var mu sync.Mutex
+		executed := map[string]bool{}
+		mark := func(s string) {
+			mu.Lock()
+			executed[s] = true
+			mu.Unlock()
+		}
+
+		child := func(w *sched.Worker) Action { // x5
+			mark("x5")
+			return Continue(func(w *sched.Worker) Action { // x6: V
+				mark("x6")
+				sem.Signal(w)
+				return Continue(func(w *sched.Worker) Action { // x7
+					mark("x7")
+					return Continue(func(w *sched.Worker) Action { // x8
+						mark("x8")
+						return Continue(func(w *sched.Worker) Action { // x9: enable+die
+							mark("x9")
+							join.Done(w)
+							return Die()
+						})
+					})
+				})
+			})
+		}
+
+		root := func(w *sched.Worker) Action { // x1
+			mark("x1")
+			return Continue(func(w *sched.Worker) Action { // x2: spawn
+				mark("x2")
+				return Spawn(child, func(w *sched.Worker) Action { // x3
+					mark("x3")
+					return Wait(sem, func(w *sched.Worker) Action { // x4: P
+						mark("x4")
+						return join.Wait(func(w *sched.Worker) Action { // x10
+							mark("x10")
+							return Continue(func(w *sched.Worker) Action { // x11
+								mark("x11")
+								return Die()
+							})
+						})
+					})
+				})
+			})
+		}
+
+		Run(pool(workers), root)
+		for _, x := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11"} {
+			if !executed[x] {
+				t.Fatalf("workers=%d: node %s never executed", workers, x)
+			}
+		}
+		if sem.Waiters() != 0 {
+			t.Fatalf("workers=%d: semaphore has stranded waiters", workers)
+		}
+	}
+}
+
+// A larger stress: a pipeline of semaphores, like workload.Strands.
+func TestSemaphorePipeline(t *testing.T) {
+	const stages = 50
+	sems := make([]*Semaphore, stages+1)
+	for i := range sems {
+		sems[i] = NewSemaphore(0)
+	}
+	sems[0].units = 1 // stage 0 can start immediately
+	var completed atomic.Int32
+
+	Run(pool(4), func(w *sched.Worker) Action {
+		var spawnStage func(k int) Action
+		spawnStage = func(k int) Action {
+			if k == stages {
+				return Die()
+			}
+			stage := k
+			return Spawn(
+				func(w *sched.Worker) Action {
+					return Wait(sems[stage], func(w *sched.Worker) Action {
+						completed.Add(1)
+						sems[stage+1].Signal(w)
+						return Die()
+					})
+				},
+				func(w *sched.Worker) Action { return spawnStage(k + 1) },
+			)
+		}
+		return spawnStage(0)
+	})
+	if completed.Load() != stages {
+		t.Fatalf("completed %d of %d stages", completed.Load(), stages)
+	}
+}
+
+func TestNewSemaphorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative semaphore")
+		}
+	}()
+	NewSemaphore(-1)
+}
+
+func TestNewJoinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative join")
+		}
+	}()
+	NewJoin(-1)
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 6
+	b := NewBarrier(n)
+	var before, after atomic.Int32
+	Run(pool(3), func(w *sched.Worker) Action {
+		var spawnK func(k int) Action
+		body := func(w *sched.Worker) Action {
+			before.Add(1)
+			return b.Arrive(func(w *sched.Worker) Action {
+				// Every thread must observe all n arrivals happened.
+				if got := before.Load(); got != n {
+					t.Errorf("past barrier with only %d arrivals", got)
+				}
+				after.Add(1)
+				return Die()
+			})
+		}
+		spawnK = func(k int) Action {
+			if k == 1 {
+				return body(w)
+			}
+			return Spawn(body, func(w *sched.Worker) Action { return spawnK(k - 1) })
+		}
+		return spawnK(n)
+	})
+	if after.Load() != n {
+		t.Fatalf("%d threads passed the barrier, want %d", after.Load(), n)
+	}
+	if b.Waiting() != 0 {
+		t.Fatalf("%d threads stranded at the barrier", b.Waiting())
+	}
+}
+
+func TestBarrierSingle(t *testing.T) {
+	b := NewBarrier(1)
+	var ran atomic.Int32
+	Run(pool(1), func(w *sched.Worker) Action {
+		return b.Arrive(func(w *sched.Worker) Action {
+			ran.Add(1)
+			return Die()
+		})
+	})
+	if ran.Load() != 1 {
+		t.Fatal("single-thread barrier did not pass through")
+	}
+}
+
+func TestBarrierIncompleteStrands(t *testing.T) {
+	b := NewBarrier(3)
+	Run(pool(2), func(w *sched.Worker) Action {
+		return Spawn(
+			func(w *sched.Worker) Action {
+				return b.Arrive(func(w *sched.Worker) Action { return Die() })
+			},
+			func(w *sched.Worker) Action {
+				return b.Arrive(func(w *sched.Worker) Action { return Die() })
+			},
+		)
+	})
+	if b.Waiting() != 2 {
+		t.Fatalf("waiting = %d, want 2 (third thread never arrived)", b.Waiting())
+	}
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func BenchmarkHoodFigure1(b *testing.B) {
+	p := pool(3)
+	for i := 0; i < b.N; i++ {
+		sem := NewSemaphore(0)
+		join := NewJoin(1)
+		child := func(w *sched.Worker) Action {
+			sem.Signal(w)
+			return Continue(func(w *sched.Worker) Action {
+				join.Done(w)
+				return Die()
+			})
+		}
+		Run(p, func(w *sched.Worker) Action {
+			return Spawn(child, func(w *sched.Worker) Action {
+				return Wait(sem, func(w *sched.Worker) Action {
+					return join.Wait(func(w *sched.Worker) Action { return Die() })
+				})
+			})
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Package offline implements the off-line scheduling side of Section 2 of
+// the paper: kernel schedules, execution schedules, greedy and level-by-level
+// (Brent) schedulers, the Theorem 1 lower-bound kernel construction, and
+// bound checkers for Theorems 1 and 2.
+package offline
+
+import "fmt"
+
+// Kernel describes a kernel schedule: for each step i (0-based here; the
+// paper numbers steps from 1), the number p_i of processes the kernel
+// schedules, with 0 <= p_i <= P. Kernel schedules are conceptually infinite;
+// implementations must answer for any step.
+type Kernel interface {
+	// ProcsAt returns p_i, the number of processes scheduled at step i.
+	ProcsAt(i int) int
+	// P returns the total number of processes.
+	P() int
+}
+
+// Dedicated is the kernel of a dedicated environment: all P processes are
+// scheduled at every step.
+type Dedicated struct{ NumProcs int }
+
+// ProcsAt returns P for every step.
+func (d Dedicated) ProcsAt(int) int { return d.NumProcs }
+
+// P returns the number of processes.
+func (d Dedicated) P() int { return d.NumProcs }
+
+// Fixed is a kernel schedule given by an explicit finite prefix; beyond the
+// prefix it schedules all P processes (so every computation eventually
+// finishes, as the paper's schedules implicitly guarantee).
+type Fixed struct {
+	NumProcs int
+	Prefix   []int
+}
+
+// ProcsAt returns the prefix value, or P beyond the prefix.
+func (f Fixed) ProcsAt(i int) int {
+	if i < len(f.Prefix) {
+		return f.Prefix[i]
+	}
+	return f.NumProcs
+}
+
+// P returns the number of processes.
+func (f Fixed) P() int { return f.NumProcs }
+
+// Figure2Kernel returns the kernel schedule of Figure 2(a): P = 3 processes
+// and the step counts (2,3,0,2,2,3,1,2,3,2) over the first ten steps, whose
+// processor average over those ten steps is 20/10 = 2.
+func Figure2Kernel() Fixed {
+	return Fixed{NumProcs: 3, Prefix: []int{2, 3, 0, 2, 2, 3, 1, 2, 3, 2}}
+}
+
+// LowerBound is the Theorem 1 adversarial kernel: it schedules all P
+// processes at one step out of every Gap+1, and zero processes otherwise.
+// Since the critical path can advance only at steps where at least one
+// process is scheduled, every execution schedule has length at least
+// (Tinf-1)*(Gap+1) + 1, while the processor average tends to P/(Gap+1), so
+// the length is at least about Tinf*P/P_A. Gap = 0 is the dedicated kernel.
+type LowerBound struct {
+	NumProcs int
+	Gap      int
+}
+
+// ProcsAt returns P at steps 0, Gap+1, 2(Gap+1), ... and 0 elsewhere.
+func (l LowerBound) ProcsAt(i int) int {
+	if i%(l.Gap+1) == 0 {
+		return l.NumProcs
+	}
+	return 0
+}
+
+// P returns the number of processes.
+func (l LowerBound) P() int { return l.NumProcs }
+
+// MinLength returns the Theorem 1 length lower bound forced by this kernel
+// on any computation with critical-path length tinf.
+func (l LowerBound) MinLength(tinf int) int {
+	return (tinf-1)*(l.Gap+1) + 1
+}
+
+// ProcessorAverage returns the average of ProcsAt(0..length-1). It panics if
+// length < 1.
+func ProcessorAverage(k Kernel, length int) float64 {
+	if length < 1 {
+		panic(fmt.Sprintf("offline: processor average over %d steps", length))
+	}
+	total := 0
+	for i := 0; i < length; i++ {
+		total += k.ProcsAt(i)
+	}
+	return float64(total) / float64(length)
+}

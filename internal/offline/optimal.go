@@ -1,0 +1,203 @@
+package offline
+
+import (
+	"fmt"
+
+	"worksteal/internal/dag"
+)
+
+// This file implements exhaustive off-line scheduling for tiny instances.
+// Section 2 of the paper notes that the off-line decision problem is
+// NP-complete [Ullman 1975], that greedy schedules are within a factor of
+// two of optimal, and asserts (without proof) that "for any kernel
+// schedule, some greedy execution schedule is optimal". OptimalLength and
+// BestGreedyLength make that assertion checkable: tests verify they agree
+// on every random small instance.
+//
+// Both searches are exponential in the number of nodes and are guarded by a
+// node-count limit.
+
+// maxOptimalNodes bounds the exhaustive searches (bitmask state).
+const maxOptimalNodes = 18
+
+// searchSpace precomputes per-node predecessor/successor masks.
+type searchSpace struct {
+	g        *dag.Graph
+	n        int
+	predMask []uint32
+	memo     map[uint64]int
+	kernel   Kernel
+	maxSteps int
+}
+
+func newSearchSpace(g *dag.Graph, k Kernel, maxSteps int) *searchSpace {
+	n := g.NumNodes()
+	if n > maxOptimalNodes {
+		panic(fmt.Sprintf("offline: exhaustive search limited to %d nodes, got %d", maxOptimalNodes, n))
+	}
+	s := &searchSpace{g: g, n: n, predMask: make([]uint32, n),
+		memo: make(map[uint64]int), kernel: k, maxSteps: maxSteps}
+	for i := 0; i < n; i++ {
+		for _, e := range g.Preds(dag.NodeID(i)) {
+			s.predMask[i] |= 1 << uint(e.From)
+		}
+	}
+	return s
+}
+
+// ready returns the bitmask of ready nodes given the executed mask.
+func (s *searchSpace) ready(mask uint32) uint32 {
+	var r uint32
+	for i := 0; i < s.n; i++ {
+		bit := uint32(1) << uint(i)
+		if mask&bit == 0 && mask&s.predMask[i] == s.predMask[i] {
+			r |= bit
+		}
+	}
+	return r
+}
+
+// popcount counts set bits.
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+const unreachable = 1 << 30
+
+// solve returns the minimum number of additional steps needed to finish
+// from the executed-set mask at step t. greedyOnly restricts the search to
+// maximal-size subsets (greedy schedules).
+func (s *searchSpace) solve(mask uint32, t int, greedyOnly bool) int {
+	full := uint32(1)<<uint(s.n) - 1
+	if mask == full {
+		return 0
+	}
+	if t >= s.maxSteps {
+		return unreachable
+	}
+	key := uint64(mask)<<32 | uint64(uint32(t))
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	s.memo[key] = unreachable // cycle guard (t always advances, so unused)
+	p := s.kernel.ProcsAt(t)
+	r := s.ready(mask)
+	nready := popcount(r)
+	take := p
+	if nready < take {
+		take = nready
+	}
+	best := unreachable
+	if take == 0 {
+		best = s.addStep(s.solve(mask, t+1, greedyOnly))
+	} else {
+		// Enumerate subsets of the ready set. For greedy schedules only
+		// subsets of exactly `take` nodes are allowed; the optimal search
+		// also tries smaller subsets (and the empty one), which the
+		// dominance argument says cannot help — the tests confirm it.
+		lo := 0
+		if greedyOnly {
+			lo = take
+		}
+		for sub := r; ; sub = (sub - 1) & r {
+			c := popcount(sub)
+			if c <= take && c >= lo {
+				if v := s.addStep(s.solve(mask|sub, t+1, greedyOnly)); v < best {
+					best = v
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	s.memo[key] = best
+	return best
+}
+
+func (s *searchSpace) addStep(v int) int {
+	if v >= unreachable {
+		return unreachable
+	}
+	return v + 1
+}
+
+// OptimalLength returns the minimum possible execution-schedule length for
+// g under kernel k, searching all schedules up to maxSteps. It returns
+// (length, true), or (0, false) if no schedule of at most maxSteps exists.
+// Exponential: g must have at most 18 nodes.
+func OptimalLength(g *dag.Graph, k Kernel, maxSteps int) (int, bool) {
+	s := newSearchSpace(g, k, maxSteps)
+	v := s.solve(0, 0, false)
+	if v >= unreachable {
+		return 0, false
+	}
+	return v, true
+}
+
+// BestGreedyLength returns the minimum length over greedy execution
+// schedules (at each step, executes exactly min(p_t, ready) nodes, but may
+// choose WHICH ready nodes). Same limits as OptimalLength.
+func BestGreedyLength(g *dag.Graph, k Kernel, maxSteps int) (int, bool) {
+	s := newSearchSpace(g, k, maxSteps)
+	v := s.solve(0, 0, true)
+	if v >= unreachable {
+		return 0, false
+	}
+	return v, true
+}
+
+// WorstGreedyLength returns the maximum length over greedy execution
+// schedules: the most unlucky choice of WHICH ready nodes to run at each
+// step. Theorem 2 bounds even this worst case by T1/P_A + Tinf*P/P_A.
+// Same size limits as OptimalLength.
+func WorstGreedyLength(g *dag.Graph, k Kernel, maxSteps int) (int, bool) {
+	s := newSearchSpace(g, k, maxSteps)
+	v := s.solveWorst(0, 0)
+	if v >= unreachable {
+		return 0, false
+	}
+	return v, true
+}
+
+// solveWorst mirrors solve but maximizes over maximal-size subsets.
+func (s *searchSpace) solveWorst(mask uint32, t int) int {
+	full := uint32(1)<<uint(s.n) - 1
+	if mask == full {
+		return 0
+	}
+	if t >= s.maxSteps {
+		return unreachable
+	}
+	key := uint64(mask)<<32 | uint64(uint32(t)) | 1<<63
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	p := s.kernel.ProcsAt(t)
+	r := s.ready(mask)
+	take := p
+	if n := popcount(r); n < take {
+		take = n
+	}
+	worst := 0
+	if take == 0 {
+		worst = s.addStep(s.solveWorst(mask, t+1))
+	} else {
+		for sub := r; ; sub = (sub - 1) & r {
+			if popcount(sub) == take {
+				if v := s.addStep(s.solveWorst(mask|sub, t+1)); v > worst {
+					worst = v
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	s.memo[key] = worst
+	return worst
+}

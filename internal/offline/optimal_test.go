@@ -1,0 +1,176 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/workload"
+)
+
+func TestOptimalChainDedicated(t *testing.T) {
+	g := workload.Chain(6)
+	k := Dedicated{NumProcs: 3}
+	opt, ok := OptimalLength(g, k, 50)
+	if !ok || opt != 6 {
+		t.Fatalf("optimal = %d (ok=%v), want 6 (a chain is inherently serial)", opt, ok)
+	}
+}
+
+func TestOptimalFigure1(t *testing.T) {
+	g := dag.Figure1()
+	// With unlimited processors the optimum is the critical path.
+	opt, ok := OptimalLength(g, Dedicated{NumProcs: 11}, 60)
+	if !ok || opt != g.CriticalPath() {
+		t.Fatalf("optimal = %d (ok=%v), want Tinf = %d", opt, ok, g.CriticalPath())
+	}
+	// Under the Figure 2 kernel, the greedy schedule of length 10 is in
+	// fact optimal.
+	opt, ok = OptimalLength(g, Figure2Kernel(), 60)
+	if !ok || opt != 10 {
+		t.Fatalf("optimal under Figure 2 kernel = %d (ok=%v), want 10", opt, ok)
+	}
+}
+
+func TestOptimalInfeasible(t *testing.T) {
+	g := workload.Chain(5)
+	k := Fixed{NumProcs: 1, Prefix: make([]int, 100)} // all-zero prefix
+	if _, ok := OptimalLength(g, k, 20); ok {
+		t.Fatal("schedule reported feasible under an all-idle kernel")
+	}
+}
+
+func TestOptimalPanicsOnLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on oversized graph")
+		}
+	}()
+	OptimalLength(workload.Chain(30), Dedicated{NumProcs: 2}, 100)
+}
+
+// The paper's (unproven) assertion: for any kernel schedule, some greedy
+// execution schedule is optimal. Verified exhaustively on random small
+// instances against random kernels.
+func TestSomeGreedyScheduleIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	builders := []func() *dag.Graph{
+		func() *dag.Graph { return dag.Figure1() },
+		func() *dag.Graph { return workload.Chain(2 + rng.Intn(10)) },
+		func() *dag.Graph { return workload.SpawnSpine(1+rng.Intn(3), 1+rng.Intn(3)) },
+		func() *dag.Graph { return workload.FibDag(3 + rng.Intn(3)) },
+		func() *dag.Graph { return workload.Grid(2+rng.Intn(2), 2+rng.Intn(3)) },
+		func() *dag.Graph { return workload.RandomSP(rng.Int63(), 6+rng.Intn(8)) },
+	}
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		g := builders[trial%len(builders)]()
+		if g.NumNodes() > maxOptimalNodes {
+			continue
+		}
+		p := 1 + rng.Intn(3)
+		prefix := make([]int, 2*g.NumNodes()+8)
+		for i := range prefix {
+			prefix[i] = rng.Intn(p + 1)
+		}
+		k := Fixed{NumProcs: p, Prefix: prefix}
+		maxSteps := 4*g.NumNodes() + len(prefix)
+		opt, okO := OptimalLength(g, k, maxSteps)
+		grd, okG := BestGreedyLength(g, k, maxSteps)
+		if okO != okG {
+			t.Fatalf("trial %d (%s, P=%d): feasibility mismatch opt=%v greedy=%v", trial, g.Label(), p, okO, okG)
+		}
+		if !okO {
+			continue
+		}
+		if grd != opt {
+			t.Fatalf("trial %d (%s, P=%d): best greedy %d != optimal %d", trial, g.Label(), p, grd, opt)
+		}
+		// The deterministic lowest-id greedy scheduler is a greedy schedule,
+		// so it can be no better than the best greedy and no better than
+		// optimal.
+		e := Greedy(g, k, 100*maxSteps)
+		if e.Length() < opt {
+			t.Fatalf("trial %d: greedy heuristic %d beat the optimum %d", trial, e.Length(), opt)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// Executing more nodes per step never hurts: optimal with the empty and
+// partial subsets allowed equals optimal over maximal subsets, which is
+// exactly what TestSomeGreedyScheduleIsOptimal checks; here we additionally
+// confirm monotonicity in the kernel: adding processors never lengthens the
+// optimum.
+func TestOptimalMonotoneInProcessors(t *testing.T) {
+	g := workload.FibDag(4) // 11 nodes
+	prev := 1 << 30
+	for p := 1; p <= 4; p++ {
+		opt, ok := OptimalLength(g, Dedicated{NumProcs: p}, 60)
+		if !ok {
+			t.Fatalf("P=%d infeasible", p)
+		}
+		if opt > prev {
+			t.Fatalf("optimum grew from %d to %d when adding a processor", prev, opt)
+		}
+		prev = opt
+	}
+	if prev != g.CriticalPath() {
+		t.Fatalf("with enough processors the optimum should reach Tinf: %d vs %d", prev, g.CriticalPath())
+	}
+}
+
+// Greedy schedules are within a factor of two of optimal on dedicated
+// kernels (the paper's Section 2 remark): length <= T1/P + Tinf <= 2*OPT,
+// since OPT >= max(T1/P, Tinf).
+func TestGreedyWithinTwiceOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		g := workload.RandomSP(rng.Int63(), 8+rng.Intn(9))
+		if g.NumNodes() > maxOptimalNodes {
+			continue
+		}
+		p := 1 + rng.Intn(4)
+		k := Dedicated{NumProcs: p}
+		opt, ok := OptimalLength(g, k, 10*g.NumNodes())
+		if !ok {
+			t.Fatalf("trial %d infeasible", trial)
+		}
+		e := Greedy(g, k, 100*g.NumNodes())
+		if e.Length() > 2*opt {
+			t.Fatalf("trial %d (%s, P=%d): greedy %d > 2*optimal %d", trial, g.Label(), p, e.Length(), opt)
+		}
+	}
+}
+
+// Even the unluckiest greedy schedule satisfies Theorem 2 — and sits within
+// a factor of two of optimal on dedicated kernels.
+func TestWorstGreedyStillMeetsTheorem2(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 20; trial++ {
+		g := workload.RandomSP(rng.Int63(), 8+rng.Intn(8))
+		if g.NumNodes() > maxOptimalNodes {
+			continue
+		}
+		p := 1 + rng.Intn(3)
+		k := Dedicated{NumProcs: p}
+		worst, okW := WorstGreedyLength(g, k, 10*g.NumNodes())
+		opt, okO := OptimalLength(g, k, 10*g.NumNodes())
+		if !okW || !okO {
+			t.Fatalf("trial %d infeasible", trial)
+		}
+		// Theorem 2 with P_A = P: worst <= T1/P + Tinf.
+		if bound := g.Work()/p + g.CriticalPath() + 1; worst > bound {
+			t.Fatalf("trial %d: worst greedy %d > T1/P+Tinf = %d", trial, worst, bound)
+		}
+		if worst > 2*opt {
+			t.Fatalf("trial %d: worst greedy %d > 2*optimal %d", trial, worst, opt)
+		}
+		if worst < opt {
+			t.Fatalf("trial %d: worst %d below optimal %d (search bug)", trial, worst, opt)
+		}
+	}
+}

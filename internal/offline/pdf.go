@@ -1,0 +1,117 @@
+package offline
+
+import (
+	"fmt"
+
+	"worksteal/internal/dag"
+)
+
+// This file implements the parallel depth-first (PDF) scheduler of Blelloch,
+// Gibbons and Matias [4,5], which the paper's Section 5 singles out: "Of
+// particular interest here is the idea of deriving parallel depth-first
+// schedules from serial schedules... The practical application and possible
+// adaptation of this idea to multiprogrammed environments is an open
+// question." Implementing it lets experiment E13 compare PDF against greedy
+// and Brent schedules under both dedicated and multiprogrammed kernel
+// schedules — an empirical look at that open question.
+
+// OneDFOrder returns each node's index in the 1DF-schedule: the execution
+// order of a single process running the scheduling loop depth-first
+// (execute the assigned node; on a spawn/enable, push one child and
+// continue with the other; on die/block, pop the most recently pushed).
+// This is the serial schedule PDF priorities derive from.
+func OneDFOrder(g *dag.Graph) []int {
+	order := make([]int, g.NumNodes())
+	for i := range order {
+		order[i] = -1
+	}
+	st := dag.NewState(g)
+	stack := []dag.NodeID{g.Root()}
+	idx := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order[u] = idx
+		idx++
+		enabled := st.Execute(u)
+		// Push children so the depth-first ("run child first") choice pops
+		// next: the non-continuation child goes on top.
+		switch len(enabled) {
+		case 1:
+			stack = append(stack, enabled[0])
+		case 2:
+			c0, c1 := enabled[0], enabled[1]
+			if kindOf(g, u, c0) != dag.Continuation && kindOf(g, u, c1) == dag.Continuation {
+				stack = append(stack, c1, c0)
+			} else {
+				stack = append(stack, c0, c1)
+			}
+		}
+	}
+	if idx != g.NumNodes() {
+		panic(fmt.Sprintf("offline: 1DF order covered %d of %d nodes", idx, g.NumNodes()))
+	}
+	return order
+}
+
+func kindOf(g *dag.Graph, from, to dag.NodeID) dag.EdgeKind {
+	for _, e := range g.Succs(from) {
+		if e.To == to {
+			return e.Kind
+		}
+	}
+	panic("offline: missing edge")
+}
+
+// PDF computes the parallel depth-first execution schedule: a greedy
+// schedule that, whenever there are more ready nodes than processes,
+// executes the ready nodes that come earliest in the 1DF order. PDF
+// schedules have strong space bounds in dedicated environments (Blelloch
+// et al.); E13 measures how they fare under multiprogrammed kernels.
+func PDF(g *dag.Graph, k Kernel, maxSteps int) *ExecSchedule {
+	prio := OneDFOrder(g)
+	s := dag.NewState(g)
+	e := &ExecSchedule{Graph: g}
+	for step := 0; !s.Done(); step++ {
+		if step >= maxSteps {
+			panic(fmt.Sprintf("offline: PDF schedule exceeded %d steps", maxSteps))
+		}
+		p := k.ProcsAt(step)
+		ready := s.ReadyNodes()
+		// Select the p ready nodes with the smallest 1DF indices.
+		if len(ready) > p {
+			// Simple selection: sort by priority (ready sets are small).
+			for i := 1; i < len(ready); i++ {
+				for j := i; j > 0 && prio[ready[j]] < prio[ready[j-1]]; j-- {
+					ready[j], ready[j-1] = ready[j-1], ready[j]
+				}
+			}
+			ready = ready[:p]
+		}
+		exec := make([]dag.NodeID, len(ready))
+		copy(exec, ready)
+		for _, u := range exec {
+			s.Execute(u)
+		}
+		e.Steps = append(e.Steps, exec)
+		e.Procs = append(e.Procs, p)
+	}
+	return e
+}
+
+// MaxReady returns the maximum number of simultaneously ready-but-unexecuted
+// nodes over the schedule — the scheduler's task-queue space. PDF schedules
+// exist to keep this near the serial schedule's maximum.
+func (e *ExecSchedule) MaxReady() int {
+	s := dag.NewState(e.Graph)
+	max := s.NumReady()
+	for _, nodes := range e.Steps {
+		for _, u := range nodes {
+			s.Execute(u)
+		}
+		if r := s.NumReady(); r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -1,0 +1,111 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/workload"
+)
+
+func TestOneDFOrderChain(t *testing.T) {
+	g := workload.Chain(5)
+	order := OneDFOrder(g)
+	for i, o := range order {
+		if o != i {
+			t.Fatalf("chain order[%d] = %d", i, o)
+		}
+	}
+}
+
+func TestOneDFOrderFigure1(t *testing.T) {
+	g := dag.Figure1()
+	order := OneDFOrder(g)
+	// Depth-first child-first execution of Figure 1: x1 x2, then the
+	// spawned child x5..x9, then back to the parent x3, x4 (now enabled),
+	// x10, x11 — exactly the single-process execution of the scheduler.
+	pos := func(k int) int { return order[dag.Figure1NodeIDs()[k-1]] }
+	wantSeq := []int{1, 2, 5, 6, 7, 8, 9, 3, 4, 10, 11}
+	for i := 1; i < len(wantSeq); i++ {
+		if pos(wantSeq[i-1]) >= pos(wantSeq[i]) {
+			t.Fatalf("1DF order wrong: x%d (%d) should precede x%d (%d)",
+				wantSeq[i-1], pos(wantSeq[i-1]), wantSeq[i], pos(wantSeq[i]))
+		}
+	}
+	// Every index used exactly once.
+	seen := make([]bool, len(order))
+	for _, o := range order {
+		if o < 0 || o >= len(order) || seen[o] {
+			t.Fatalf("order not a permutation: %v", order)
+		}
+		seen[o] = true
+	}
+}
+
+func TestPDFIsValidGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, spec := range workload.SmallCatalog() {
+		g := spec.Build()
+		for _, p := range []int{1, 2, 4} {
+			prefix := make([]int, 4*g.Work())
+			for i := range prefix {
+				prefix[i] = rng.Intn(p + 1)
+			}
+			k := Fixed{NumProcs: p, Prefix: prefix}
+			e := PDF(g, k, 100*g.Work()+1000)
+			if err := e.Validate(k); err != nil {
+				t.Fatalf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if !e.IsGreedy() {
+				t.Fatalf("%s P=%d: PDF schedule not greedy", spec.Name, p)
+			}
+			if err := CheckTheorem1(e); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if err := CheckTheorem2(e, p); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestPDFMatchesSerialAtP1(t *testing.T) {
+	g := workload.FibDag(8)
+	k := Dedicated{NumProcs: 1}
+	e := PDF(g, k, 10*g.Work())
+	if e.Length() != g.Work() {
+		t.Fatalf("P=1 PDF length %d != T1 %d", e.Length(), g.Work())
+	}
+	// The executed sequence is exactly the 1DF order.
+	order := OneDFOrder(g)
+	for step, nodes := range e.Steps {
+		if len(nodes) != 1 || order[nodes[0]] != step {
+			t.Fatalf("step %d executed %v (1DF index %d)", step, nodes, order[nodes[0]])
+		}
+	}
+}
+
+// PDF's reason to exist: its ready-set space stays close to the serial
+// schedule's, while arbitrary greedy schedules can balloon. Verified on the
+// spine workload where breadth-first choices maximize simultaneous readiness.
+func TestPDFSpaceBeatsBreadthGreedy(t *testing.T) {
+	g := workload.SpawnSpine(24, 4)
+	k := Dedicated{NumProcs: 4}
+	serial := PDF(g, Dedicated{NumProcs: 1}, 10*g.Work()).MaxReady()
+	pdf := PDF(g, k, 10*g.Work()).MaxReady()
+	greedy := Greedy(g, k, 10*g.Work()).MaxReady()
+	// Blelloch et al.: PDF premature nodes <= P * Tinf; in practice far
+	// tighter. Allow S1 + P*small.
+	if pdf > serial+4*8 {
+		t.Errorf("PDF max ready %d far above serial %d", pdf, serial)
+	}
+	t.Logf("maxReady: serial=%d pdf=%d lowest-id-greedy=%d", serial, pdf, greedy)
+}
+
+func TestMaxReadyComputedOnValidSchedule(t *testing.T) {
+	g := dag.Figure1()
+	e := Greedy(g, Figure2Kernel(), 100)
+	if mr := e.MaxReady(); mr < 1 || mr > g.NumNodes() {
+		t.Fatalf("MaxReady = %d", mr)
+	}
+}

@@ -1,0 +1,220 @@
+package offline
+
+import (
+	"fmt"
+	"strings"
+
+	"worksteal/internal/dag"
+)
+
+// ExecSchedule records one execution schedule: for each step, the nodes
+// executed at that step. The number of nodes executed at step i never
+// exceeds p_i, and dependencies are observed (Section 2).
+type ExecSchedule struct {
+	Graph *dag.Graph
+	// Steps[i] lists the nodes executed at step i. len(Steps[i]) <= p_i.
+	Steps [][]dag.NodeID
+	// Procs[i] is p_i, the number of processes the kernel scheduled at
+	// step i; Procs[i] - len(Steps[i]) processes were idle.
+	Procs []int
+}
+
+// Length returns the number of steps in the schedule.
+func (e *ExecSchedule) Length() int { return len(e.Steps) }
+
+// TotalProcSteps returns the sum of p_i over the schedule, i.e. the number
+// of tokens in the proof of Theorem 2.
+func (e *ExecSchedule) TotalProcSteps() int {
+	total := 0
+	for _, p := range e.Procs {
+		total += p
+	}
+	return total
+}
+
+// ProcessorAverage returns P_A over the schedule's length.
+func (e *ExecSchedule) ProcessorAverage() float64 {
+	return float64(e.TotalProcSteps()) / float64(e.Length())
+}
+
+// IdleSteps returns the number of steps at which at least one scheduled
+// process was idle (the "idle steps" of the Theorem 2 proof).
+func (e *ExecSchedule) IdleSteps() int {
+	n := 0
+	for i := range e.Steps {
+		if e.Procs[i] > len(e.Steps[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// IdleTokens returns the total number of idle process-steps.
+func (e *ExecSchedule) IdleTokens() int {
+	n := 0
+	for i := range e.Steps {
+		n += e.Procs[i] - len(e.Steps[i])
+	}
+	return n
+}
+
+// Validate checks that the schedule is a correct execution schedule for its
+// graph under the given kernel: every node executed exactly once, never
+// before its predecessors, and never more nodes at a step than scheduled
+// processes.
+func (e *ExecSchedule) Validate(k Kernel) error {
+	execAt := make([]int, e.Graph.NumNodes())
+	for i := range execAt {
+		execAt[i] = -1
+	}
+	for i, nodes := range e.Steps {
+		if want := k.ProcsAt(i); e.Procs[i] != want {
+			return fmt.Errorf("offline: step %d records p=%d, kernel says %d", i, e.Procs[i], want)
+		}
+		if len(nodes) > e.Procs[i] {
+			return fmt.Errorf("offline: step %d executes %d nodes with only %d processes", i, len(nodes), e.Procs[i])
+		}
+		for _, u := range nodes {
+			if execAt[u] != -1 {
+				return fmt.Errorf("offline: node %d executed twice (steps %d and %d)", u, execAt[u], i)
+			}
+			execAt[u] = i
+		}
+	}
+	for u, at := range execAt {
+		if at == -1 {
+			return fmt.Errorf("offline: node %d never executed", u)
+		}
+	}
+	for _, edge := range e.Graph.Edges() {
+		if execAt[edge.From] >= execAt[edge.To] {
+			return fmt.Errorf("offline: edge %d->%d violated (steps %d, %d)",
+				edge.From, edge.To, execAt[edge.From], execAt[edge.To])
+		}
+	}
+	return nil
+}
+
+// IsGreedy reports whether the schedule is greedy: at each step the number
+// of nodes executed equals min(p_i, number of ready nodes at that step).
+func (e *ExecSchedule) IsGreedy() bool {
+	s := dag.NewState(e.Graph)
+	for i, nodes := range e.Steps {
+		want := e.Procs[i]
+		if r := s.NumReady(); r < want {
+			want = r
+		}
+		if len(nodes) != want {
+			return false
+		}
+		for _, u := range nodes {
+			s.Execute(u)
+		}
+	}
+	return s.Done()
+}
+
+// String renders the schedule in the style of Figure 2(b): one row per step,
+// with the executed nodes (1-based, matching the paper's x_k naming) and "I"
+// for each idle scheduled process.
+func (e *ExecSchedule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "step | activity (p_i processes)\n")
+	for i, nodes := range e.Steps {
+		fmt.Fprintf(&sb, "%4d |", i+1)
+		for _, u := range nodes {
+			fmt.Fprintf(&sb, " x%d", u+1)
+		}
+		for j := len(nodes); j < e.Procs[i]; j++ {
+			sb.WriteString(" I")
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "length %d, P_A %.2f, idle tokens %d\n",
+		e.Length(), e.ProcessorAverage(), e.IdleTokens())
+	return sb.String()
+}
+
+// Greedy computes a greedy execution schedule of g under kernel k: at each
+// step it executes min(p_i, ready) ready nodes, preferring lower node ids.
+// maxSteps guards against kernels that never schedule anyone; Greedy panics
+// if the computation does not finish within maxSteps.
+func Greedy(g *dag.Graph, k Kernel, maxSteps int) *ExecSchedule {
+	s := dag.NewState(g)
+	e := &ExecSchedule{Graph: g}
+	for step := 0; !s.Done(); step++ {
+		if step >= maxSteps {
+			panic(fmt.Sprintf("offline: greedy schedule exceeded %d steps (%d/%d nodes executed)",
+				maxSteps, s.NumExecuted(), g.NumNodes()))
+		}
+		p := k.ProcsAt(step)
+		ready := s.ReadyNodes()
+		n := p
+		if len(ready) < n {
+			n = len(ready)
+		}
+		exec := make([]dag.NodeID, n)
+		copy(exec, ready[:n])
+		for _, u := range exec {
+			s.Execute(u)
+		}
+		e.Steps = append(e.Steps, exec)
+		e.Procs = append(e.Procs, p)
+	}
+	return e
+}
+
+// Brent computes a level-by-level execution schedule: all nodes of
+// longest-path level d execute before any node of level d+1 (Brent 1974).
+// Theorem 2 also holds for these schedules.
+func Brent(g *dag.Graph, k Kernel, maxSteps int) *ExecSchedule {
+	levels := g.Levels()
+	e := &ExecSchedule{Graph: g}
+	level, off := 0, 0
+	for step := 0; level < len(levels); step++ {
+		if step >= maxSteps {
+			panic(fmt.Sprintf("offline: Brent schedule exceeded %d steps", maxSteps))
+		}
+		p := k.ProcsAt(step)
+		remaining := len(levels[level]) - off
+		n := p
+		if remaining < n {
+			n = remaining
+		}
+		exec := make([]dag.NodeID, n)
+		copy(exec, levels[level][off:off+n])
+		off += n
+		if off == len(levels[level]) {
+			level++
+			off = 0
+		}
+		e.Steps = append(e.Steps, exec)
+		e.Procs = append(e.Procs, p)
+	}
+	return e
+}
+
+// CheckTheorem1 verifies the universal lower bound of Theorem 1 on an
+// execution schedule: length >= T1/P_A.
+func CheckTheorem1(e *ExecSchedule) error {
+	t1 := float64(e.Graph.Work())
+	lhs := float64(e.Length())
+	if pa := e.ProcessorAverage(); lhs*pa < t1-1e-9 {
+		return fmt.Errorf("offline: Theorem 1 violated: length %v * P_A %v < T1 %v", lhs, pa, t1)
+	}
+	return nil
+}
+
+// CheckTheorem2 verifies the greedy upper bound of Theorem 2:
+// length <= T1/P_A + Tinf*P/P_A, equivalently sum(p_i) <= T1 + Tinf*P.
+// (The token argument actually gives the slightly stronger T1 + Tinf*(P-1),
+// which we check.)
+func CheckTheorem2(e *ExecSchedule, p int) error {
+	t1 := e.Graph.Work()
+	tinf := e.Graph.CriticalPath()
+	tokens := e.TotalProcSteps()
+	if bound := t1 + tinf*(p-1); tokens > bound {
+		return fmt.Errorf("offline: Theorem 2 violated: %d tokens > T1 + Tinf*(P-1) = %d", tokens, bound)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package offline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/workload"
+)
+
+func TestFigure2GreedySchedule(t *testing.T) {
+	g := dag.Figure1()
+	k := Figure2Kernel()
+	e := Greedy(g, k, 1000)
+	if err := e.Validate(k); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !e.IsGreedy() {
+		t.Fatal("schedule not greedy")
+	}
+	// The paper's Figure 2(b) schedule has length 10 for this kernel and dag.
+	if e.Length() != 10 {
+		t.Fatalf("length = %d, want 10\n%s", e.Length(), e)
+	}
+	if pa := e.ProcessorAverage(); pa != 2.0 {
+		t.Fatalf("P_A = %v, want 2.0", pa)
+	}
+	// 20 tokens total: 11 work (one per node) + 9 idle.
+	if e.TotalProcSteps() != 20 || e.IdleTokens() != 9 {
+		t.Fatalf("tokens = %d (idle %d), want 20 (idle 9)", e.TotalProcSteps(), e.IdleTokens())
+	}
+	if err := CheckTheorem1(e); err != nil {
+		t.Error(err)
+	}
+	if err := CheckTheorem2(e, k.P()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	g := dag.Figure1()
+	k := Figure2Kernel()
+	e := Greedy(g, k, 1000)
+	s := e.String()
+	if !strings.Contains(s, "x1") || !strings.Contains(s, "I") {
+		t.Errorf("String output missing expected tokens:\n%s", s)
+	}
+	if !strings.Contains(s, "length 10") {
+		t.Errorf("String output missing summary:\n%s", s)
+	}
+}
+
+func TestGreedyDedicatedBounds(t *testing.T) {
+	for _, spec := range workload.SmallCatalog() {
+		g := spec.Build()
+		for _, p := range []int{1, 2, 3, 8} {
+			k := Dedicated{NumProcs: p}
+			e := Greedy(g, k, 10*g.Work()+100)
+			if err := e.Validate(k); err != nil {
+				t.Fatalf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if !e.IsGreedy() {
+				t.Fatalf("%s P=%d: not greedy", spec.Name, p)
+			}
+			if err := CheckTheorem1(e); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if err := CheckTheorem2(e, p); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+			// Dedicated greedy length is also at least Tinf and at most
+			// T1/P + Tinf (the classical Brent/greedy bound).
+			if e.Length() < g.CriticalPath() {
+				t.Errorf("%s P=%d: length %d < Tinf %d", spec.Name, p, e.Length(), g.CriticalPath())
+			}
+			if max := g.Work()/p + g.CriticalPath() + 1; e.Length() > max {
+				t.Errorf("%s P=%d: length %d > T1/P+Tinf = %d", spec.Name, p, e.Length(), max)
+			}
+		}
+	}
+}
+
+func TestBrentDedicatedBounds(t *testing.T) {
+	for _, spec := range workload.SmallCatalog() {
+		g := spec.Build()
+		for _, p := range []int{1, 2, 4} {
+			k := Dedicated{NumProcs: p}
+			e := Brent(g, k, 10*g.Work()+100)
+			if err := e.Validate(k); err != nil {
+				t.Fatalf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if err := CheckTheorem1(e); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+			if err := CheckTheorem2(e, p); err != nil {
+				t.Errorf("%s P=%d: %v", spec.Name, p, err)
+			}
+			// Brent bound: sum over levels of ceil(|level|/p) <= T1/p + Tinf.
+			want := 0
+			for _, level := range g.Levels() {
+				want += (len(level) + p - 1) / p
+			}
+			if e.Length() != want {
+				t.Errorf("%s P=%d: Brent length %d, want %d", spec.Name, p, e.Length(), want)
+			}
+		}
+	}
+}
+
+func TestBrentIsNotAlwaysGreedy(t *testing.T) {
+	// On the spine workload, level-by-level scheduling leaves processors
+	// idle even when deeper nodes are ready, so it is generally not greedy.
+	g := workload.SpawnSpine(6, 8)
+	k := Dedicated{NumProcs: 4}
+	e := Brent(g, k, 10000)
+	if err := e.Validate(k); err != nil {
+		t.Fatal(err)
+	}
+	if e.IsGreedy() {
+		t.Log("Brent happened to be greedy on this instance (allowed, but unexpected)")
+	}
+}
+
+func TestLowerBoundKernel(t *testing.T) {
+	for _, gap := range []int{0, 1, 3, 7} {
+		for _, spec := range workload.SmallCatalog() {
+			g := spec.Build()
+			k := LowerBound{NumProcs: 4, Gap: gap}
+			e := Greedy(g, k, (gap+1)*(g.Work()+g.CriticalPath())*2+100)
+			if err := e.Validate(k); err != nil {
+				t.Fatalf("%s gap=%d: %v", spec.Name, gap, err)
+			}
+			if min := k.MinLength(g.CriticalPath()); e.Length() < min {
+				t.Errorf("%s gap=%d: length %d < forced minimum %d", spec.Name, gap, e.Length(), min)
+			}
+			// Theorem 1's second bound: length >= Tinf*P/P_A (within the
+			// rounding slack of one period).
+			pa := e.ProcessorAverage()
+			bound := float64(g.CriticalPath()*k.P())/pa - float64(gap+1)
+			if float64(e.Length()) < bound {
+				t.Errorf("%s gap=%d: length %d < Tinf*P/P_A = %.1f", spec.Name, gap, e.Length(), bound)
+			}
+			if err := CheckTheorem1(e); err != nil {
+				t.Errorf("%s gap=%d: %v", spec.Name, gap, err)
+			}
+		}
+	}
+}
+
+func TestLowerBoundProcsPattern(t *testing.T) {
+	k := LowerBound{NumProcs: 3, Gap: 2}
+	want := []int{3, 0, 0, 3, 0, 0, 3}
+	for i, w := range want {
+		if got := k.ProcsAt(i); got != w {
+			t.Errorf("ProcsAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if k.P() != 3 {
+		t.Errorf("P = %d", k.P())
+	}
+}
+
+func TestProcessorAverage(t *testing.T) {
+	k := Figure2Kernel()
+	if pa := ProcessorAverage(k, 10); pa != 2.0 {
+		t.Errorf("PA over 10 = %v, want 2.0", pa)
+	}
+	if pa := ProcessorAverage(Dedicated{NumProcs: 5}, 7); pa != 5.0 {
+		t.Errorf("PA dedicated = %v", pa)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ProcessorAverage(k, 0) did not panic")
+		}
+	}()
+	ProcessorAverage(k, 0)
+}
+
+func TestValidateCatchesBadSchedules(t *testing.T) {
+	g := dag.Figure1()
+	k := Dedicated{NumProcs: 2}
+	e := Greedy(g, k, 1000)
+
+	t.Run("wrong proc count", func(t *testing.T) {
+		bad := *e
+		bad.Procs = append([]int(nil), e.Procs...)
+		bad.Procs[0] = 7
+		if bad.Validate(k) == nil {
+			t.Error("Validate accepted wrong proc count")
+		}
+	})
+	t.Run("node twice", func(t *testing.T) {
+		bad := *e
+		bad.Steps = append([][]dag.NodeID(nil), e.Steps...)
+		bad.Steps[1] = []dag.NodeID{e.Steps[0][0]}
+		if bad.Validate(k) == nil {
+			t.Error("Validate accepted duplicated node")
+		}
+	})
+	t.Run("dependency violated", func(t *testing.T) {
+		// Swap first two steps: executes x2 before x1.
+		bad := &ExecSchedule{Graph: g,
+			Steps: append([][]dag.NodeID(nil), e.Steps...),
+			Procs: append([]int(nil), e.Procs...)}
+		bad.Steps[0], bad.Steps[1] = bad.Steps[1], bad.Steps[0]
+		if bad.Validate(k) == nil {
+			t.Error("Validate accepted dependency violation")
+		}
+	})
+	t.Run("missing node", func(t *testing.T) {
+		bad := &ExecSchedule{Graph: g,
+			Steps: append([][]dag.NodeID(nil), e.Steps[:len(e.Steps)-1]...),
+			Procs: append([]int(nil), e.Procs[:len(e.Procs)-1]...)}
+		if bad.Validate(k) == nil {
+			t.Error("Validate accepted truncated schedule")
+		}
+	})
+}
+
+func TestGreedyPanicsOnStarvation(t *testing.T) {
+	g := workload.Chain(5)
+	k := Fixed{NumProcs: 1, Prefix: make([]int, 100)} // 0 procs for 100 steps
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Greedy did not panic when exceeding maxSteps")
+		}
+	}()
+	Greedy(g, k, 50)
+}
+
+// Random kernels: greedy must satisfy both theorems on every workload.
+func TestGreedyRandomKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(6)
+		prefix := make([]int, 200)
+		for i := range prefix {
+			prefix[i] = rng.Intn(p + 1)
+		}
+		k := Fixed{NumProcs: p, Prefix: prefix}
+		for _, spec := range workload.SmallCatalog() {
+			g := spec.Build()
+			e := Greedy(g, k, 100000)
+			if err := e.Validate(k); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, spec.Name, err)
+			}
+			if err := CheckTheorem1(e); err != nil {
+				t.Errorf("trial %d %s: %v", trial, spec.Name, err)
+			}
+			if err := CheckTheorem2(e, p); err != nil {
+				t.Errorf("trial %d %s: %v", trial, spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestFigure2IdleAccounting(t *testing.T) {
+	e := Greedy(dag.Figure1(), Figure2Kernel(), 100)
+	// From the rendered schedule: steps 1,2,5,6,8,9,10 each have idle
+	// processes (7 idle steps), with 9 idle tokens total.
+	if got := e.IdleSteps(); got != 7 {
+		t.Errorf("IdleSteps = %d, want 7", got)
+	}
+	if got := e.IdleTokens(); got != 9 {
+		t.Errorf("IdleTokens = %d, want 9", got)
+	}
+	// The Theorem 2 proof's accounting: idle steps <= Tinf.
+	if e.IdleSteps() > e.Graph.CriticalPath() {
+		t.Errorf("idle steps %d exceed Tinf %d", e.IdleSteps(), e.Graph.CriticalPath())
+	}
+}
+
+func TestBrentAndPDFUnderLowerBoundKernel(t *testing.T) {
+	g := workload.FibDag(8)
+	k := LowerBound{NumProcs: 3, Gap: 2}
+	maxSteps := 3 * (g.Work() + g.CriticalPath()) * 2
+	for name, e := range map[string]*ExecSchedule{
+		"brent": Brent(g, k, maxSteps),
+		"pdf":   PDF(g, k, maxSteps),
+	} {
+		if err := e.Validate(k); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Length() < k.MinLength(g.CriticalPath()) {
+			t.Errorf("%s: beat the forced lower bound", name)
+		}
+	}
+}

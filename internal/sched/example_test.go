@@ -1,0 +1,56 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"worksteal/internal/sched"
+	"worksteal/internal/workload"
+)
+
+// The basic pattern: create a pool, Run a root task, spawn work from it.
+func ExamplePool_Run() {
+	pool := sched.New(sched.Config{Workers: 4})
+	var sum int
+	pool.Run(func(w *sched.Worker) {
+		sum = sched.Reduce(w, 1, 11, 2,
+			func(i int) int { return i },
+			func(a, b int) int { return a + b })
+	})
+	fmt.Println(sum)
+	// Output: 55
+}
+
+// Fork-join: fork a computation, do other work, then join its result.
+// Join executes other tasks while waiting, so no worker ever blocks idly.
+func ExampleFork() {
+	pool := sched.New(sched.Config{Workers: 2})
+	pool.Run(func(w *sched.Worker) {
+		future := sched.Fork(w, func(*sched.Worker) int { return 6 * 7 })
+		other := 100
+		fmt.Println(future.Join(w) + other)
+	})
+	// Output: 142
+}
+
+// Parallel loops split ranges recursively; un-stolen execution is a plain
+// left-to-right loop.
+func ExampleParallelFor() {
+	pool := sched.New(sched.Config{Workers: 4})
+	squares := make([]int, 6)
+	pool.Run(func(w *sched.Worker) {
+		sched.ParallelFor(w, 0, len(squares), 2, func(i int) {
+			squares[i] = i * i
+		})
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16 25]
+}
+
+// RunGraph executes an explicit computation dag (with known work T1 and
+// critical-path length Tinf) using the paper's Figure 3 scheduling loop.
+func ExampleRunGraph() {
+	g := workload.FibDag(10) // the fib(10) fork-join dag
+	res := sched.RunGraph(sched.GraphConfig{Graph: g, Workers: 2, Seed: 1})
+	fmt.Println(res.NodesExecuted == int64(g.Work()))
+	// Output: true
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// poolAbortedError is the panic value Join raises when the run was aborted
+// by another task's panic while this future can no longer complete.
+type poolAbortedError struct{ cause any }
+
+func (e poolAbortedError) Error() string { return "sched: pool run aborted by a task panic" }
+
+// Future is the result of a Fork: a value that becomes available when the
+// forked task completes. Join retrieves it, executing other tasks while it
+// waits (the "work-first" help protocol), so waiting never wastes a worker.
+type Future[T any] struct {
+	result T
+	done   atomic.Bool
+	ch     chan struct{}
+}
+
+// Fork spawns fn and returns a Future for its result. The spawned task goes
+// to the bottom of the caller's deque (or runs inline if the deque is
+// full), so in the common un-stolen case Join pops it right back and runs
+// it on the same worker — the depth-first execution order the paper notes
+// is "often used" (lazy task creation).
+func Fork[T any](w *Worker, fn func(*Worker) T) *Future[T] {
+	f := &Future[T]{ch: make(chan struct{})}
+	w.Spawn(func(inner *Worker) {
+		f.result = fn(inner)
+		f.done.Store(true)
+		close(f.ch)
+	})
+	return f
+}
+
+// Join returns the future's result, helping to run other tasks until it is
+// available. It must be called from a task running on the pool (pass the
+// current worker).
+func (f *Future[T]) Join(w *Worker) T {
+	for !f.done.Load() {
+		if t := w.tryGetTask(); t != nil {
+			w.exec(t)
+			continue
+		}
+		// No runnable work found. If some deque still appears non-empty a
+		// retry may find it; otherwise the forked task (or an ancestor it
+		// waits on) is running on another worker and blocking is safe and
+		// cheap.
+		if w.anyVisibleWork() {
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case <-f.ch:
+		case <-w.pool.abort:
+			if !f.done.Load() {
+				panic(poolAbortedError{cause: w.pool.panicVal})
+			}
+		default:
+			runtime.Gosched()
+			if f.done.Load() || w.anyVisibleWork() {
+				continue
+			}
+			select {
+			case <-f.ch:
+			case <-w.pool.abort:
+				if !f.done.Load() {
+					panic(poolAbortedError{cause: w.pool.panicVal})
+				}
+			}
+		}
+	}
+	return f.result
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future[T]) Done() bool { return f.done.Load() }
+
+// Join2 forks fa and runs fb inline, then joins: the classic binary
+// fork-join (for example fib(n-1) in parallel with fib(n-2)).
+func Join2[A, B any](w *Worker, fa func(*Worker) A, fb func(*Worker) B) (A, B) {
+	fut := Fork(w, fa)
+	b := fb(w)
+	a := fut.Join(w)
+	return a, b
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Group tracks a dynamic set of spawned tasks so they can be joined
+// together — the equivalent of Cilk's sync for task sets whose size isn't
+// known up front (tree searches, graph traversals). Wait helps execute
+// other tasks while waiting, like Future.Join.
+//
+// A Group may be reused after Wait returns. Spawning from inside member
+// tasks is allowed (the count covers them transitively).
+type Group struct {
+	pending atomic.Int64
+	ch      atomic.Pointer[chan struct{}]
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	g := &Group{}
+	ch := make(chan struct{})
+	g.ch.Store(&ch)
+	return g
+}
+
+// Spawn schedules fn as part of the group.
+func (g *Group) Spawn(w *Worker, fn func(*Worker)) {
+	g.pending.Add(1)
+	w.Spawn(func(inner *Worker) {
+		defer g.done()
+		fn(inner)
+	})
+}
+
+func (g *Group) done() {
+	if g.pending.Add(-1) == 0 {
+		// Wake waiters; swap in a fresh channel for reuse.
+		old := g.ch.Swap(newGroupChan())
+		close(*old)
+	}
+}
+
+func newGroupChan() *chan struct{} {
+	ch := make(chan struct{})
+	return &ch
+}
+
+// Wait blocks until every task spawned into the group (so far) has
+// finished, executing other tasks while it waits.
+func (g *Group) Wait(w *Worker) {
+	for g.pending.Load() > 0 {
+		if t := w.tryGetTask(); t != nil {
+			w.exec(t)
+			continue
+		}
+		if w.anyVisibleWork() {
+			runtime.Gosched()
+			continue
+		}
+		ch := g.ch.Load()
+		if g.pending.Load() == 0 {
+			return
+		}
+		select {
+		case <-*ch:
+		case <-w.pool.abort:
+			if g.pending.Load() > 0 {
+				panic(poolAbortedError{cause: w.pool.panicVal})
+			}
+		}
+	}
+}
+
+// Invoke runs the given functions as parallel tasks and returns when all
+// have completed (TBB's parallel_invoke). The last function runs inline.
+func Invoke(w *Worker, fns ...func(*Worker)) {
+	if len(fns) == 0 {
+		return
+	}
+	g := NewGroup()
+	for _, fn := range fns[:len(fns)-1] {
+		g.Spawn(w, fn)
+	}
+	fns[len(fns)-1](w)
+	g.Wait(w)
+}

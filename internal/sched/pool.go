@@ -1,0 +1,311 @@
+// Package sched is the production side of the reproduction: a work-stealing
+// task scheduler for Go built on the paper's non-blocking ABP deque
+// (package deque). Each worker is one of the paper's "processes": it owns a
+// deque, pops work from the bottom, and when idle yields the processor and
+// steals from the top of a uniformly random victim's deque — exactly the
+// Figure 3 scheduling loop, with Go's runtime playing the kernel.
+//
+// Two APIs are provided:
+//
+//   - a task API (Spawn, Fork/Join futures, ParallelFor/Reduce) in the style
+//     of the Hood threads library the authors built on this scheduler, and
+//   - a dag runner (RunGraph) that executes an explicit computation dag with
+//     known work and critical-path length, for benchmark experiments that
+//     check the paper's T1/P_A + Tinf*P/P_A bound on real hardware.
+//
+// For the paper's ablations, the pool can be configured with a mutex-guarded
+// deque instead of the non-blocking one, and with yields disabled.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"worksteal/internal/deque"
+)
+
+// DequeKind selects the deque implementation workers use.
+type DequeKind uint8
+
+const (
+	// DequeABP is the paper's non-blocking deque (the default).
+	DequeABP DequeKind = iota
+	// DequeMutex is the blocking baseline for ablation benchmarks.
+	DequeMutex
+	// DequeChaseLev is the unbounded growable successor design (Chase and
+	// Lev, SPAA 2005) — the paper's natural extension: no capacity bound,
+	// no tag needed. Spawns never fall back to inline execution.
+	DequeChaseLev
+)
+
+// Config configures a Pool.
+type Config struct {
+	// Workers is the number of worker goroutines (the paper's P processes).
+	// Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// Deque selects the deque implementation (default DequeABP).
+	Deque DequeKind
+	// DequeCapacity bounds each worker's deque; when a push finds the deque
+	// full the task runs inline, which preserves correctness and depth-first
+	// order at the cost of stealable parallelism. Defaults to
+	// deque.DefaultCapacity.
+	DequeCapacity int
+	// DisableYield removes the runtime.Gosched call between steal attempts
+	// (the paper's yield ablation). Only for experiments: under
+	// multiprogramming (more workers than GOMAXPROCS) disabling yields lets
+	// spinning thieves starve workers that hold all the work.
+	DisableYield bool
+	// Seed seeds victim selection; 0 means a fixed default.
+	Seed int64
+	// Pin calls runtime.LockOSThread in each worker, approximating the
+	// paper's one-process-per-kernel-thread model.
+	Pin bool
+	// RoundRobinVictim replaces uniformly random victim selection with a
+	// deterministic rotation (the design-choice-5 ablation; the paper's
+	// analysis requires random victims).
+	RoundRobinVictim bool
+}
+
+// Task is the unit of work handled by the scheduler.
+type Task struct {
+	fn func(*Worker)
+}
+
+// Stats aggregates per-run scheduler counters.
+type Stats struct {
+	TasksRun      int64
+	Spawns        int64
+	InlineRuns    int64 // spawns executed inline because a deque was full
+	Steals        int64
+	StealAttempts int64
+	Yields        int64
+}
+
+// Pool is a work-stealing scheduler instance. Create one with New, then use
+// Run (possibly several times in sequence). A Pool must not be used by two
+// Runs concurrently.
+type Pool struct {
+	cfg     Config
+	workers []*Worker
+	pending atomic.Int64
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Panic plumbing: the first panicking task aborts the run; Run re-panics
+	// with its value after all workers exit. abort is closed to wake any
+	// Join parked on a future that will never complete.
+	panicOnce sync.Once
+	panicVal  any
+	abort     chan struct{}
+}
+
+// Worker is the execution context passed to every task; it identifies the
+// worker goroutine running the task and provides the spawning operations.
+type Worker struct {
+	pool *Pool
+	id   int
+	dq   deque.Dequer[Task]
+	rng  *rand.Rand
+	rr   int // round-robin victim cursor
+
+	tasksRun      int64
+	spawns        int64
+	inlineRuns    int64
+	steals        int64
+	stealAttempts int64
+	yields        int64
+}
+
+// New builds a pool. The zero Config is valid.
+func New(cfg Config) *Pool {
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("sched: %d workers", cfg.Workers))
+	}
+	if cfg.DequeCapacity == 0 {
+		cfg.DequeCapacity = deque.DefaultCapacity
+	}
+	if cfg.DequeCapacity < 1 {
+		panic(fmt.Sprintf("sched: deque capacity %d", cfg.DequeCapacity))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5EED
+	}
+	p := &Pool{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		var dq deque.Dequer[Task]
+		switch cfg.Deque {
+		case DequeMutex:
+			dq = deque.NewMutexWithCapacity[Task](cfg.DequeCapacity)
+		case DequeChaseLev:
+			dq = deque.NewChaseLev[Task]()
+		default:
+			dq = deque.NewWithCapacity[Task](cfg.DequeCapacity)
+		}
+		p.workers = append(p.workers, &Worker{
+			pool: p,
+			id:   i,
+			dq:   dq,
+			rng:  rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
+		})
+	}
+	return p
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.cfg.Workers }
+
+// Run executes root on worker 0 and returns once root and every task
+// transitively spawned from it have completed.
+// If a task panics, the run aborts: remaining workers stop, and Run
+// re-panics with the original value (tasks already stolen may still finish;
+// tasks still in deques are dropped).
+func (p *Pool) Run(root func(*Worker)) {
+	p.stopped.Store(false)
+	p.panicOnce = sync.Once{}
+	p.panicVal = nil
+	p.abort = make(chan struct{})
+	p.pending.Store(1)
+	p.workers[0].dq.PushBottom(&Task{fn: root})
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		go w.loop()
+	}
+	p.wg.Wait()
+	if p.panicVal != nil {
+		panic(p.panicVal)
+	}
+}
+
+// recordPanic notes the first task panic and aborts the run.
+func (p *Pool) recordPanic(v any) {
+	p.panicOnce.Do(func() {
+		p.panicVal = v
+		p.stopped.Store(true)
+		close(p.abort)
+	})
+}
+
+// Stats sums the per-worker counters accumulated so far (across runs).
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, w := range p.workers {
+		s.TasksRun += w.tasksRun
+		s.Spawns += w.spawns
+		s.InlineRuns += w.inlineRuns
+		s.Steals += w.steals
+		s.StealAttempts += w.stealAttempts
+		s.Yields += w.yields
+	}
+	return s
+}
+
+// loop is the Figure 3 scheduling loop: pop the bottom of the local deque;
+// when empty, yield and steal from the top of a random victim.
+func (w *Worker) loop() {
+	defer w.pool.wg.Done()
+	if w.pool.cfg.Pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for !w.pool.stopped.Load() {
+		t := w.dq.PopBottom()
+		if t == nil {
+			if !w.pool.cfg.DisableYield {
+				w.yields++
+				runtime.Gosched()
+			}
+			t = w.stealOnce()
+			if t == nil {
+				continue
+			}
+		}
+		w.exec(t)
+	}
+}
+
+// stealOnce performs one steal attempt against a victim chosen per the
+// configured policy (uniformly random by default, Figure 3 line 16).
+func (w *Worker) stealOnce() *Task {
+	n := len(w.pool.workers)
+	if n == 1 {
+		return nil
+	}
+	var v int
+	if w.pool.cfg.RoundRobinVictim {
+		w.rr++
+		v = w.rr % (n - 1)
+	} else {
+		v = w.rng.Intn(n - 1)
+	}
+	if v >= w.id {
+		v++
+	}
+	w.stealAttempts++
+	t := w.pool.workers[v].dq.PopTop()
+	if t != nil {
+		w.steals++
+	}
+	return t
+}
+
+// exec runs a task and performs termination accounting. A panicking task
+// aborts the whole run; the panic value surfaces from Pool.Run.
+func (w *Worker) exec(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.pool.recordPanic(r)
+		}
+		w.tasksRun++
+		if w.pool.pending.Add(-1) == 0 {
+			w.pool.stopped.Store(true)
+		}
+	}()
+	t.fn(w)
+}
+
+// ID returns the worker's index in [0, Workers).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Spawn schedules fn to run asynchronously. It pushes the task onto the
+// bottom of the caller's deque, where it is available to thieves; if the
+// deque is full the task runs inline instead (correct, just not stealable).
+func (w *Worker) Spawn(fn func(*Worker)) {
+	w.spawns++
+	w.pool.pending.Add(1)
+	t := &Task{fn: fn}
+	if !w.dq.PushBottom(t) {
+		w.inlineRuns++
+		w.exec(t)
+	}
+}
+
+// tryGetTask pops local work, or failing that makes one steal attempt.
+// Used by Future.Join to make progress while waiting.
+func (w *Worker) tryGetTask() *Task {
+	if t := w.dq.PopBottom(); t != nil {
+		return t
+	}
+	return w.stealOnce()
+}
+
+// anyVisibleWork reports whether any deque in the pool appears non-empty.
+// A false return together with an incomplete future means the future's task
+// is currently running on some worker, so blocking is safe.
+func (w *Worker) anyVisibleWork() bool {
+	for _, o := range w.pool.workers {
+		if o.dq.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}

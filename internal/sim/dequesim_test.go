@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"testing"
+
+	"worksteal/internal/dag"
+)
+
+// runOp steps an operation to completion and returns its result.
+func runOp(t *testing.T, o op) dag.NodeID {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if o.step() {
+			return o.result()
+		}
+	}
+	t.Fatal("op did not complete in 1000 steps")
+	return dag.None
+}
+
+func TestABPDequeSequential(t *testing.T) {
+	d := newABPDeque(16, 32)
+	if got := runOp(t, d.startPopBottom(0)); got != dag.None {
+		t.Fatalf("popBottom on empty = %v", got)
+	}
+	if got := runOp(t, d.startPopTop(1)); got != dag.None {
+		t.Fatalf("popTop on empty = %v", got)
+	}
+	for i := dag.NodeID(1); i <= 5; i++ {
+		runOp(t, d.startPushBottom(0, i))
+	}
+	if d.size() != 5 {
+		t.Fatalf("size = %d", d.size())
+	}
+	snap := d.snapshot()
+	want := []dag.NodeID{5, 4, 3, 2, 1} // bottom to top
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", snap, want)
+		}
+	}
+	if got := runOp(t, d.startPopTop(1)); got != 1 {
+		t.Fatalf("popTop = %v, want 1", got)
+	}
+	if got := runOp(t, d.startPopBottom(0)); got != 5 {
+		t.Fatalf("popBottom = %v, want 5", got)
+	}
+	if d.size() != 3 {
+		t.Fatalf("size = %d, want 3", d.size())
+	}
+	// Drain from the bottom through the reset path.
+	for want := dag.NodeID(4); want >= 2; want-- {
+		if got := runOp(t, d.startPopBottom(0)); got != want {
+			t.Fatalf("popBottom = %v, want %v", got, want)
+		}
+	}
+	if got := runOp(t, d.startPopBottom(0)); got != dag.None {
+		t.Fatalf("popBottom on drained deque = %v", got)
+	}
+	if d.bot != 0 || d.age.Top != 0 {
+		t.Fatalf("indices not reset: bot=%d top=%d", d.bot, d.age.Top)
+	}
+	if d.age.Tag == 0 {
+		t.Fatal("tag not bumped across empty resets")
+	}
+}
+
+// TestABPLastItemRace interleaves popBottom and popTop on a one-item deque:
+// the thief's CAS lands first, the owner's CAS must fail, and the owner must
+// then reset age with a fresh tag.
+func TestABPLastItemRace(t *testing.T) {
+	d := newABPDeque(8, 32)
+	runOp(t, d.startPushBottom(0, 7))
+
+	thief := d.startPopTop(1)
+	// Thief: load age (0,0), load bot (=1), load node.
+	for i := 0; i < 3; i++ {
+		if thief.step() {
+			t.Fatal("thief completed early")
+		}
+	}
+	owner := d.startPopBottom(0)
+	// Owner: load bot (1); store bot=0... up to just before its CAS.
+	for i := 0; i < 5; i++ {
+		if owner.step() {
+			t.Fatal("owner completed early")
+		}
+	}
+	// Thief's CAS: wins the race.
+	if !thief.step() {
+		t.Fatal("thief should complete at its CAS")
+	}
+	if got := thief.result(); got != 7 {
+		t.Fatalf("thief result = %v, want 7", got)
+	}
+	// Owner: CAS fails (one more step), then stores the reset age.
+	done := owner.step()
+	if !done {
+		done = owner.step()
+	}
+	if !done {
+		t.Fatal("owner did not complete after failed CAS + store")
+	}
+	if got := owner.result(); got != dag.None {
+		t.Fatalf("owner result = %v, want NIL", got)
+	}
+	if d.casFailures != 1 {
+		t.Fatalf("casFailures = %d, want 1", d.casFailures)
+	}
+	if d.age != (Age{Tag: 1, Top: 0}) || d.bot != 0 {
+		t.Fatalf("deque not reset: age=%+v bot=%d", d.age, d.bot)
+	}
+	// The deque must be fully usable afterwards.
+	runOp(t, d.startPushBottom(0, 9))
+	if got := runOp(t, d.startPopTop(2)); got != 9 {
+		t.Fatalf("post-race popTop = %v, want 9", got)
+	}
+}
+
+// TestABPOwnerWinsLastItemRace is the mirror image: the owner's CAS lands
+// first and the suspended thief's CAS must fail.
+func TestABPOwnerWinsLastItemRace(t *testing.T) {
+	d := newABPDeque(8, 32)
+	runOp(t, d.startPushBottom(0, 7))
+
+	thief := d.startPopTop(1)
+	for i := 0; i < 3; i++ {
+		thief.step()
+	}
+	// Owner runs its whole popBottom: CAS succeeds.
+	if got := runOp(t, d.startPopBottom(0)); got != 7 {
+		t.Fatalf("owner result = %v, want 7", got)
+	}
+	if !thief.step() {
+		t.Fatal("thief should complete at its CAS")
+	}
+	if got := thief.result(); got != dag.None {
+		t.Fatalf("thief result = %v, want NIL (owner won)", got)
+	}
+	if d.casFailures != 1 {
+		t.Fatalf("casFailures = %d, want 1", d.casFailures)
+	}
+}
+
+// TestABADemonstration reproduces the exact scenario of Section 3.3: a thief
+// is preempted after reading the top node but before its CAS; the owner
+// empties the deque and pushes fresh work, restoring the same top index.
+// With the tag the stale CAS fails; without the tag (tagBits = 0) the stale
+// CAS succeeds and the thief walks off with a node that was already taken.
+func TestABADemonstration(t *testing.T) {
+	run := func(tagBits int) (thiefGot dag.NodeID, d *abpDeque) {
+		d = newABPDeque(8, tagBits)
+		runOp(t, d.startPushBottom(0, 1)) // node A
+
+		thief := d.startPopTop(1)
+		for i := 0; i < 3; i++ { // load age, load bot, load node A; suspend
+			if thief.step() {
+				t.Fatal("thief completed early")
+			}
+		}
+		// Owner takes A (deque goes empty, top resets), then pushes B.
+		if got := runOp(t, d.startPopBottom(0)); got != 1 {
+			t.Fatalf("owner popBottom = %v, want node A", got)
+		}
+		runOp(t, d.startPushBottom(0, 2)) // node B at the same index
+
+		// Thief resumes with its stale CAS.
+		if !thief.step() {
+			t.Fatal("thief should complete at its CAS")
+		}
+		return thief.result(), d
+	}
+
+	t.Run("with tag", func(t *testing.T) {
+		got, d := run(32)
+		if got != dag.None {
+			t.Fatalf("stale CAS returned %v; the tag should have made it fail", got)
+		}
+		// Node B is still stealable.
+		if b := runOp(t, d.startPopTop(2)); b != 2 {
+			t.Fatalf("node B = %v, want 2", b)
+		}
+	})
+	t.Run("without tag (ABA)", func(t *testing.T) {
+		got, d := run(0)
+		if got != 1 {
+			t.Fatalf("expected the ABA failure to hand the thief stale node A, got %v", got)
+		}
+		// And node B has been lost: top passed over it.
+		if b := runOp(t, d.startPopTop(2)); b != dag.None {
+			t.Fatalf("expected node B to be lost to the ABA race, got %v", b)
+		}
+	})
+}
+
+func TestNewABPDequePanicsOnBadTagBits(t *testing.T) {
+	for _, bits := range []int{-1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tagBits=%d did not panic", bits)
+				}
+			}()
+			newABPDeque(8, bits)
+		}()
+	}
+}
+
+func TestLockDequeSequential(t *testing.T) {
+	d := newLockDeque(8)
+	if got := runOp(t, d.startPopBottom(0)); got != dag.None {
+		t.Fatalf("popBottom empty = %v", got)
+	}
+	for i := dag.NodeID(1); i <= 3; i++ {
+		runOp(t, d.startPushBottom(0, i))
+	}
+	if got := runOp(t, d.startPopTop(1)); got != 1 {
+		t.Fatalf("popTop = %v", got)
+	}
+	if got := runOp(t, d.startPopBottom(0)); got != 3 {
+		t.Fatalf("popBottom = %v", got)
+	}
+	snap := d.snapshot()
+	if len(snap) != 1 || snap[0] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if d.lockHolder() != -1 {
+		t.Fatalf("lock held after ops: %d", d.lockHolder())
+	}
+}
+
+// TestLockDequeBlocksWhenHolderPreempted shows the blocking pathology: with
+// the lock held by a suspended process, every other operation spins forever.
+func TestLockDequeBlocksWhenHolderPreempted(t *testing.T) {
+	d := newLockDeque(8)
+	runOp(t, d.startPushBottom(0, 1))
+	owner := d.startPopBottom(0)
+	owner.step() // acquires the lock, then is "preempted"
+	if d.lockHolder() != 0 {
+		t.Fatalf("lockHolder = %d, want 0", d.lockHolder())
+	}
+	thief := d.startPopTop(1)
+	for i := 0; i < 100; i++ {
+		if thief.step() {
+			t.Fatal("thief completed while lock held")
+		}
+	}
+	if d.spinSteps != 100 {
+		t.Fatalf("spinSteps = %d, want 100", d.spinSteps)
+	}
+	// Resume the owner; the thief then proceeds (and finds it empty).
+	for !owner.step() {
+	}
+	if got := owner.result(); got != 1 {
+		t.Fatalf("owner = %v", got)
+	}
+	if got := runOpCont(t, thief); got != dag.None {
+		t.Fatalf("thief = %v, want NIL", got)
+	}
+}
+
+// runOpCont finishes an already-started op.
+func runOpCont(t *testing.T, o op) dag.NodeID {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if o.step() {
+			return o.result()
+		}
+	}
+	t.Fatal("op did not complete")
+	return dag.None
+}
+
+func TestOpsPanicWhenSteppedAfterCompletion(t *testing.T) {
+	d := newABPDeque(4, 32)
+	push := d.startPushBottom(0, 1)
+	for !push.step() {
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stepping a completed op did not panic")
+		}
+	}()
+	push.step()
+}

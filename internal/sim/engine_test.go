@@ -1,0 +1,592 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"worksteal/internal/dag"
+	"worksteal/internal/workload"
+)
+
+func mustRun(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res := NewEngine(cfg).Run()
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	if res.NodesExecuted != cfg.Graph.NumNodes() {
+		t.Fatalf("executed %d nodes, want %d", res.NodesExecuted, cfg.Graph.NumNodes())
+	}
+	if res.Corruptions != 0 {
+		t.Fatalf("corruptions: %d", res.Corruptions)
+	}
+	return res
+}
+
+func TestDedicatedCompletesAllWorkloads(t *testing.T) {
+	for _, spec := range workload.SmallCatalog() {
+		for _, p := range []int{1, 2, 3, 8} {
+			t.Run(fmt.Sprintf("%s/P=%d", spec.Name, p), func(t *testing.T) {
+				g := spec.Build()
+				res := mustRun(t, Config{
+					Graph: g, P: p, Kernel: DedicatedKernel{NumProcs: p}, Seed: 1,
+				})
+				if res.MaxMilestoneGap > MilestoneC {
+					t.Errorf("milestone gap %d exceeds C=%d", res.MaxMilestoneGap, MilestoneC)
+				}
+				if res.Throws > res.StealAttempts {
+					t.Errorf("throws %d > steal attempts %d", res.Throws, res.StealAttempts)
+				}
+				if res.Steals > res.StealAttempts {
+					t.Errorf("steals %d > attempts %d", res.Steals, res.StealAttempts)
+				}
+				if p == 1 && res.StealAttempts != 0 {
+					t.Errorf("P=1 made %d steal attempts", res.StealAttempts)
+				}
+			})
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := workload.FibDag(10)
+	cfg := Config{Graph: g, P: 4, Kernel: BenignKernel{NumProcs: 4}, Seed: 42,
+		Yield: YieldToRandom, ShuffleSteps: true}
+	r1 := NewEngine(cfg).Run()
+	r2 := NewEngine(cfg).Run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", r1, r2)
+	}
+	cfg.Seed = 43
+	r3 := NewEngine(cfg).Run()
+	if reflect.DeepEqual(r1, r3) {
+		t.Fatalf("different seeds gave identical results (suspicious): %+v", r1)
+	}
+}
+
+func TestAllKernelYieldCombinations(t *testing.T) {
+	g := workload.FibDag(9)
+	const p = 4
+	kernels := map[string]Kernel{
+		"dedicated":   DedicatedKernel{NumProcs: p},
+		"benign":      BenignKernel{NumProcs: p},
+		"benignConst": ConstBenign(p, 2),
+		"oblivious":   NewSeededOblivious(p, 2, 7),
+		"periodic":    PeriodicKernel{NumProcs: p, Period: 3},
+	}
+	for name, k := range kernels {
+		for _, y := range []YieldKind{YieldNone, YieldToRandom, YieldToAll} {
+			t.Run(fmt.Sprintf("%s/%s", name, y), func(t *testing.T) {
+				mustRun(t, Config{Graph: g, P: p, Kernel: k, Yield: y, Seed: 5})
+			})
+		}
+	}
+}
+
+func TestSpawnPolicies(t *testing.T) {
+	g := workload.FibDag(10)
+	for _, pol := range []SpawnPolicy{RunChild, RunParent} {
+		res := mustRun(t, Config{Graph: g, P: 3, Kernel: DedicatedKernel{NumProcs: 3},
+			Policy: pol, Seed: 2})
+		if res.NodesExecuted != g.NumNodes() {
+			t.Errorf("policy %v executed %d nodes", pol, res.NodesExecuted)
+		}
+	}
+}
+
+func TestShuffledInterleaving(t *testing.T) {
+	g := workload.Grid(8, 10)
+	mustRun(t, Config{Graph: g, P: 5, Kernel: DedicatedKernel{NumProcs: 5},
+		ShuffleSteps: true, Seed: 9})
+}
+
+// Figure 1's dag exercises spawn, block, enable, and enable+die transitions.
+func TestFigure1Execution(t *testing.T) {
+	g := dag.Figure1()
+	for p := 1; p <= 4; p++ {
+		res := mustRun(t, Config{Graph: g, P: p, Kernel: DedicatedKernel{NumProcs: p}, Seed: int64(p)})
+		if res.NodesExecuted != 11 {
+			t.Fatalf("P=%d: executed %d", p, res.NodesExecuted)
+		}
+	}
+}
+
+// Theorem 9 shape: with a dedicated kernel, measured time (in instructions
+// per process) tracks T1/P + O(Tinf), with a modest constant for the
+// per-node scheduling overhead.
+func TestDedicatedSpeedupShape(t *testing.T) {
+	g := workload.FibDag(14) // work 1973, span 28, parallelism ~70
+	t1 := g.Work()
+	tinf := g.CriticalPath()
+	prev := -1
+	for _, p := range []int{1, 2, 4, 8} {
+		res := mustRun(t, Config{Graph: g, P: p, Kernel: DedicatedKernel{NumProcs: p}, Seed: 3})
+		// Steps is the paper's time T. The bound: T <= c1*T1/P + c2*Tinf
+		// with c1 covering per-node loop overhead (about 4 instructions per
+		// node plus deque work) and c2 covering throws per phase.
+		bound := 12.0*float64(t1)/float64(p) + 30.0*float64(tinf)*float64(MilestoneC)
+		if float64(res.Steps) > bound {
+			t.Errorf("P=%d: steps %d exceeds generous bound %.0f", p, res.Steps, bound)
+		}
+		if prev > 0 && res.Steps > prev*12/10 {
+			t.Errorf("P=%d: steps %d grew vs previous %d; expected speedup", p, res.Steps, prev)
+		}
+		prev = res.Steps
+	}
+}
+
+// Starvation: an oblivious kernel that never schedules process 0 (which
+// holds the root) makes no progress without yields, and completes with
+// yieldToRandom thanks to the substitution rule.
+func TestObliviousStarvationNeedsYieldToRandom(t *testing.T) {
+	g := workload.Chain(40)
+	const p = 4
+	k := FixedSetKernel{NumProcs: p, Set: []int{1, 2, 3}}
+
+	res := NewEngine(Config{Graph: g, P: p, Kernel: k, Yield: YieldNone,
+		Seed: 1, MaxRounds: 3000}).Run()
+	if res.Completed {
+		t.Fatalf("starvation schedule completed without yields: %+v", res)
+	}
+	if res.NodesExecuted != 0 {
+		t.Fatalf("starved run executed %d nodes, want 0", res.NodesExecuted)
+	}
+
+	res = NewEngine(Config{Graph: g, P: p, Kernel: k, Yield: YieldToRandom,
+		Seed: 1, MaxRounds: 200000}).Run()
+	if !res.Completed {
+		t.Fatalf("yieldToRandom did not defeat the oblivious starvation kernel: %+v", res)
+	}
+	if res.Substitutions == 0 {
+		t.Fatal("expected yield substitutions to have occurred")
+	}
+}
+
+// Starvation: the adaptive StarveWorkers kernel defeats yieldToRandom on
+// long runs only with vanishing probability, but yieldToAll defeats it
+// deterministically.
+func TestAdaptiveStarvationNeedsYieldToAll(t *testing.T) {
+	g := workload.Chain(40)
+	const p = 4
+	k := StarveWorkersKernel{NumProcs: p}
+
+	res := NewEngine(Config{Graph: g, P: p, Kernel: k, Yield: YieldNone,
+		Seed: 1, MaxRounds: 3000}).Run()
+	if res.Completed {
+		t.Fatalf("adaptive starvation completed without yields: %+v", res)
+	}
+	// The kernel schedules the process with the smallest id when everyone
+	// looks busy, so the very first node may execute; progress still stalls.
+	if res.NodesExecuted > 2 {
+		t.Fatalf("starved run executed %d nodes", res.NodesExecuted)
+	}
+
+	res = NewEngine(Config{Graph: g, P: p, Kernel: k, Yield: YieldToAll,
+		Seed: 1, MaxRounds: 200000}).Run()
+	if !res.Completed {
+		t.Fatalf("yieldToAll did not defeat the adaptive starvation kernel: %+v", res)
+	}
+}
+
+// The lock-based deque completes fine on a dedicated kernel but collapses
+// under an adversary that preempts lock holders; the ABP deque shrugs the
+// same adversary off. This is the paper's "non-blocking data structures are
+// essential" claim in its purest form.
+func TestLockedDequeAblation(t *testing.T) {
+	g := workload.FibDag(9)
+	const p = 4
+
+	res := mustRun(t, Config{Graph: g, P: p, Kernel: DedicatedKernel{NumProcs: p},
+		Deque: DequeLocked, Seed: 1})
+	if res.NodesExecuted != g.NumNodes() {
+		t.Fatal("locked deque failed on dedicated kernel")
+	}
+
+	adv := PreemptLockHolderKernel{NumProcs: p}
+	resABP := mustRun(t, Config{Graph: g, P: p, Kernel: adv, Seed: 1})
+	if resABP.SpinSteps != 0 {
+		t.Fatalf("ABP deques have no locks, spinSteps = %d", resABP.SpinSteps)
+	}
+
+	resLocked := NewEngine(Config{Graph: g, P: p, Kernel: adv, Deque: DequeLocked,
+		Seed: 1, MaxRounds: 4000}).Run()
+	if resLocked.Completed {
+		t.Fatalf("preempt-lock-holder adversary failed to stall the locked deque: %+v", resLocked)
+	}
+	if resLocked.SpinSteps == 0 {
+		t.Fatal("expected lock spinning under the adversary")
+	}
+}
+
+// With the tag disabled, heavy contention on tiny deques eventually
+// triggers the ABA corruption; with the tag it never does.
+func TestEngineABATagProtection(t *testing.T) {
+	g := workload.Grid(20, 4) // small deques, constant enable/steal churn
+	corrupted := false
+	for seed := int64(0); seed < 30; seed++ {
+		res := NewEngine(Config{Graph: g, P: 8, Kernel: BenignKernel{NumProcs: 8},
+			TagBits: -1, Seed: seed, ShuffleSteps: true, MaxRounds: 200000}).Run()
+		if res.Corruptions > 0 {
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Log("no ABA corruption triggered in 30 seeds (the window is narrow); deterministic op-level demo covers it")
+	}
+	// The realistic tag must never corrupt.
+	for seed := int64(0); seed < 10; seed++ {
+		res := mustRun(t, Config{Graph: g, P: 8, Kernel: BenignKernel{NumProcs: 8},
+			Seed: seed, ShuffleSteps: true})
+		if res.Corruptions != 0 {
+			t.Fatalf("tagged deque corrupted at seed %d", seed)
+		}
+	}
+}
+
+func TestThrowsBehaveSanely(t *testing.T) {
+	g := workload.SpawnSpine(8, 20)
+	res := mustRun(t, Config{Graph: g, P: 6, Kernel: DedicatedKernel{NumProcs: 6}, Seed: 4})
+	if res.Throws == 0 {
+		t.Error("expected some throws with 6 processes on a small dag")
+	}
+	if res.Throws > res.StealAttempts {
+		t.Errorf("throws %d > attempts %d", res.Throws, res.StealAttempts)
+	}
+	// At most one throw per process per round.
+	if res.Throws > res.Rounds*6 {
+		t.Errorf("throws %d exceed rounds*P = %d", res.Throws, res.Rounds*6)
+	}
+}
+
+func TestPAMeasurement(t *testing.T) {
+	g := workload.FibDag(10)
+	// Dedicated: every step has all P processes executing, so PA = P
+	// (modulo the final partial step and early-halting processes).
+	res := mustRun(t, Config{Graph: g, P: 4, Kernel: DedicatedKernel{NumProcs: 4}, Seed: 8})
+	if res.PA < 3.5 || res.PA > 4.0 {
+		t.Errorf("dedicated PA = %v, want about 4", res.PA)
+	}
+	// Constant-2 benign kernel: PA about 2.
+	res = mustRun(t, Config{Graph: g, P: 4, Kernel: ConstBenign(4, 2), Seed: 8})
+	if res.PA < 1.5 || res.PA > 2.2 {
+		t.Errorf("benign-2 PA = %v, want about 2", res.PA)
+	}
+}
+
+func TestManualKernel(t *testing.T) {
+	g := workload.Chain(10)
+	k := ManualKernel{NumProcs: 2, Rounds: [][]Slot{
+		{{Proc: 1, Instr: 28}}, // round 0: only the thief
+		{},                     // round 1: nobody
+		{{Proc: 0, Instr: 28}, {Proc: 1, Instr: 28}},
+	}}
+	res := mustRun(t, Config{Graph: g, P: 2, Kernel: k, Seed: 1})
+	if !res.Completed {
+		t.Fatal("manual kernel run incomplete")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := workload.Chain(3)
+	cases := []Config{
+		{},               // nil graph
+		{Graph: g},       // P = 0
+		{Graph: g, P: 2}, // nil kernel
+		{Graph: g, P: 2, Kernel: DedicatedKernel{NumProcs: 3}},                         // P mismatch
+		{Graph: g, P: 2, Kernel: DedicatedKernel{NumProcs: 2}, InstrLo: 5, InstrHi: 3}, // bad budget
+		{Graph: g, P: 2, Kernel: DedicatedKernel{NumProcs: 2}, TagBits: 40},            // bad tag
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			NewEngine(cfg)
+		}()
+	}
+}
+
+func TestKernelOutputSanitized(t *testing.T) {
+	g := workload.Chain(20)
+	// A malformed kernel: out-of-range ids, duplicates, absurd budgets.
+	k := ObliviousKernel{NumProcs: 2, Schedule: func(r int) []int {
+		return []int{-1, 0, 0, 1, 5}
+	}}
+	res := mustRun(t, Config{Graph: g, P: 2, Kernel: k, Seed: 1})
+	if !res.Completed {
+		t.Fatal("sanitized run incomplete")
+	}
+}
+
+// Work stealing distributes execution: with enough parallelism and a
+// dedicated kernel, more than one process executes nodes.
+func TestWorkIsActuallyStolen(t *testing.T) {
+	g := workload.FibDag(12)
+	res := NewEngine(Config{Graph: g, P: 4, Kernel: DedicatedKernel{NumProcs: 4}, Seed: 6}).Run()
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.Steals == 0 {
+		t.Fatal("no successful steals on a parallel dag with 4 processes")
+	}
+	active, total := 0, 0
+	for _, n := range res.NodesPerProc {
+		if n > 0 {
+			active++
+		}
+		total += n
+	}
+	if active < 2 {
+		t.Fatalf("only %d process(es) executed nodes: %v", active, res.NodesPerProc)
+	}
+	if total != res.NodesExecuted {
+		t.Fatalf("per-proc sum %d != total %d", total, res.NodesExecuted)
+	}
+}
+
+// Observer callbacks fire and see consistent state.
+type countingObserver struct {
+	rounds, instrs int
+	lastRound      int
+}
+
+func (o *countingObserver) OnRoundStart(e *Engine, round int) {
+	o.rounds++
+	o.lastRound = round
+	snap := e.Snapshot()
+	if len(snap) == 0 {
+		panic("empty snapshot")
+	}
+}
+
+func (o *countingObserver) OnInstruction(e *Engine, proc int) { o.instrs++ }
+
+func TestObserverCallbacks(t *testing.T) {
+	g := workload.FibDag(8)
+	obs := &countingObserver{}
+	res := mustRun(t, Config{Graph: g, P: 3, Kernel: DedicatedKernel{NumProcs: 3},
+		Seed: 2, Observer: obs})
+	// The observer also sees the drain (processes observing the done flag
+	// and halting), which the Result's time-like counters exclude.
+	if obs.rounds < res.Rounds {
+		t.Errorf("observer saw %d rounds, result says %d", obs.rounds, res.Rounds)
+	}
+	if int64(obs.instrs) < res.ProcInstr {
+		t.Errorf("observer saw %d instructions, result says %d", obs.instrs, res.ProcInstr)
+	}
+	if int64(obs.instrs) > res.ProcInstr+int64(8*3*MilestoneC*3) {
+		t.Errorf("drain consumed implausibly many instructions: %d vs %d", obs.instrs, res.ProcInstr)
+	}
+}
+
+// Property-ish: random configurations all complete and execute each node
+// exactly once (the dag.State panics on double execution, so completion
+// plus count is a full check).
+func TestRandomConfigsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		spec := workload.SmallCatalog()[rng.Intn(len(workload.SmallCatalog()))]
+		g := spec.Build()
+		p := 1 + rng.Intn(8)
+		var k Kernel
+		switch rng.Intn(3) {
+		case 0:
+			k = DedicatedKernel{NumProcs: p}
+		case 1:
+			k = BenignKernel{NumProcs: p}
+		default:
+			k = NewSeededOblivious(p, 1+rng.Intn(p), rng.Int63())
+		}
+		y := YieldKind(rng.Intn(3))
+		if _, oblivious := k.(ObliviousKernel); oblivious && y == YieldNone {
+			y = YieldToRandom // oblivious subsets can starve without yields
+		}
+		cfg := Config{Graph: g, P: p, Kernel: k, Yield: y, Seed: rng.Int63(),
+			ShuffleSteps: rng.Intn(2) == 0, Policy: SpawnPolicy(rng.Intn(2)),
+			MaxRounds: 2_000_000}
+		res := NewEngine(cfg).Run()
+		if !res.Completed {
+			t.Fatalf("trial %d (%s, P=%d, %T, %v) incomplete: %+v", trial, spec.Name, p, k, y, res)
+		}
+		if res.NodesExecuted != g.NumNodes() || res.Corruptions != 0 {
+			t.Fatalf("trial %d: nodes %d/%d corruptions %d", trial, res.NodesExecuted, g.NumNodes(), res.Corruptions)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if YieldToAll.String() != "yieldToAll" || YieldNone.String() != "none" || YieldToRandom.String() != "yieldToRandom" {
+		t.Error("YieldKind strings wrong")
+	}
+	if DequeABP.String() != "abp" || DequeLocked.String() != "locked" {
+		t.Error("DequeKind strings wrong")
+	}
+	if RunChild.String() != "runChild" || RunParent.String() != "runParent" {
+		t.Error("SpawnPolicy strings wrong")
+	}
+	if phSteal.String() != "steal" || phase(99).String() == "" {
+		t.Error("phase strings wrong")
+	}
+}
+
+func TestVictimRoundRobin(t *testing.T) {
+	g := workload.FibDag(10)
+	res := mustRun(t, Config{Graph: g, P: 4, Kernel: DedicatedKernel{NumProcs: 4},
+		Victim: VictimRoundRobin, Seed: 3})
+	if res.NodesExecuted != g.NumNodes() {
+		t.Fatal("round-robin victims failed to complete")
+	}
+	if VictimRoundRobin.String() != "roundRobin" || VictimRandom.String() != "random" {
+		t.Error("VictimPolicy strings wrong")
+	}
+}
+
+func TestCoschedulingKernel(t *testing.T) {
+	g := workload.FibDag(10)
+	const p = 4
+	k := CoschedulingKernel{NumProcs: p, OnRounds: 2, OffRounds: 3}
+	res := mustRun(t, Config{Graph: g, P: p, Kernel: k, Seed: 5})
+	// Gang scheduling wastes the off rounds: time inflated by about
+	// (on+off)/on versus dedicated, and PA is diluted accordingly.
+	ded := mustRun(t, Config{Graph: g, P: p, Kernel: DedicatedKernel{NumProcs: p}, Seed: 5})
+	if res.Steps <= ded.Steps {
+		t.Errorf("coscheduling (%d steps) should be slower than dedicated (%d)", res.Steps, ded.Steps)
+	}
+	if res.PA >= ded.PA {
+		t.Errorf("coscheduling PA %v should be below dedicated %v", res.PA, ded.PA)
+	}
+}
+
+func TestCoschedulingPanicsOnBadConfig(t *testing.T) {
+	g := workload.Chain(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEngine(Config{Graph: g, P: 2,
+		Kernel: CoschedulingKernel{NumProcs: 2, OnRounds: 0, OffRounds: 1}, Seed: 1}).Run()
+}
+
+func TestSpacePartitionKernel(t *testing.T) {
+	g := workload.FibDag(11)
+	const p = 8
+	// Only 2 of 8 processes are ever serviced; process 0 is among them, so
+	// no yields are needed (static space partitioning is benign).
+	k := SpacePartitionKernel{NumProcs: p, Avail: 2}
+	res := mustRun(t, Config{Graph: g, P: p, Kernel: k, Seed: 6})
+	if res.PA > 2.01 {
+		t.Errorf("PA = %v with a 2-process partition", res.PA)
+	}
+	// The other six processes never execute anything.
+	if res.NodesExecuted != g.NumNodes() {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestSpacePartitionPanics(t *testing.T) {
+	g := workload.Chain(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEngine(Config{Graph: g, P: 2,
+		Kernel: SpacePartitionKernel{NumProcs: 2, Avail: 0}, Seed: 1}).Run()
+}
+
+// Yield enforcement substitutes processes but never changes how many run:
+// the scheduled count each round equals the kernel's (sanitized) request.
+func TestYieldsPreserveScheduledCount(t *testing.T) {
+	g := workload.Chain(200)
+	const p = 6
+	e := NewEngine(Config{Graph: g, P: p, Kernel: FixedSetKernel{NumProcs: p, Set: []int{1, 2, 3}},
+		Yield: YieldToAll, Seed: 9, MaxRounds: 100000})
+	for round := 0; !e.done && round < 100000; round++ {
+		slots := e.planRound(round, nil)
+		alive := 0
+		for _, pr := range e.procs {
+			if pr.phase != phHalted {
+				alive++
+			}
+		}
+		want := 3
+		if alive < want {
+			want = alive
+		}
+		if len(slots) != want && alive > 0 {
+			t.Fatalf("round %d: %d slots, want %d (yields must not change the count)", round, len(slots), want)
+		}
+		// Execute the round minimally: run each slot's budget.
+		for _, sl := range slots {
+			e.procs[sl.Proc].msRound = 0
+		}
+		for _, sl := range slots {
+			for i := 0; i < sl.Instr && e.procs[sl.Proc].phase != phHalted && !e.done; i++ {
+				e.procs[sl.Proc].step(e)
+				e.procInstr++
+			}
+		}
+		e.steps += e.cfg.InstrLo
+	}
+	if !e.done {
+		t.Fatal("manual round loop did not complete the chain")
+	}
+}
+
+// Budget clamping: kernels asking for absurd budgets get [2C, 3C].
+func TestBudgetClamping(t *testing.T) {
+	g := workload.Chain(10)
+	k := ObliviousKernel{NumProcs: 2, Schedule: func(r int) []int { return []int{0, 1} }}
+	e := NewEngine(Config{Graph: g, P: 2, Kernel: k, Seed: 1})
+	slots := e.planRound(0, nil)
+	for _, s := range slots {
+		if s.Instr < e.cfg.InstrLo || s.Instr > e.cfg.InstrHi {
+			t.Fatalf("budget %d outside [%d,%d]", s.Instr, e.cfg.InstrLo, e.cfg.InstrHi)
+		}
+	}
+}
+
+// View accessors agree with engine state.
+func TestViewAccessors(t *testing.T) {
+	g := workload.FibDag(8)
+	var sawThief, sawLockInfo bool
+	obs := observerFunc(func(e *Engine, proc int) {
+		v := e.view
+		if v.P() != 3 {
+			t.Fatal("P mismatch")
+		}
+		for p := 0; p < 3; p++ {
+			if v.IsThief(p) {
+				sawThief = true
+			}
+			if v.LockHolder(p) == -1 {
+				sawLockInfo = true
+			}
+			_ = v.DequeSize(p)
+			_ = v.HasAssigned(p)
+		}
+		if v.InstrLo() != 2*MilestoneC || v.InstrHi() != 3*MilestoneC {
+			t.Fatal("instruction bounds wrong")
+		}
+	})
+	res := NewEngine(Config{Graph: g, P: 3, Kernel: DedicatedKernel{NumProcs: 3},
+		Seed: 3, Observer: obs}).Run()
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if !sawThief || !sawLockInfo {
+		t.Error("view accessors never observed expected states")
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(e *Engine, proc int)
+
+func (f observerFunc) OnRoundStart(e *Engine, round int) {}
+func (f observerFunc) OnInstruction(e *Engine, proc int) { f(e, proc) }

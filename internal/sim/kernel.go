@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Slot is one kernel scheduling decision: process Proc runs for Instr
+// instructions this round. The engine clamps Instr into [2C, 3C].
+type Slot struct {
+	Proc  int
+	Instr int
+}
+
+// Kernel is the adversary: at each round it decides which processes run and
+// for how many instructions. The three adversary classes of Section 4.4
+// differ in what they may consult:
+//
+//   - a benign adversary chooses only the NUMBER of processes (the engine's
+//     rng picks which, uniformly);
+//   - an oblivious adversary fixes the whole schedule up front (it must not
+//     consult the View);
+//   - an adaptive adversary may consult the View, which exposes the live
+//     scheduler state.
+type Kernel interface {
+	// P returns the total number of processes.
+	P() int
+	// PlanRound returns the slots for round r. rng is the engine's seeded
+	// source; kernels must use it (and not their own) so runs stay
+	// reproducible.
+	PlanRound(r int, v *View, rng *rand.Rand) []Slot
+}
+
+// allSlots returns slots for every process with the minimum budget.
+func allSlots(p int, v *View) []Slot {
+	slots := make([]Slot, p)
+	for i := range slots {
+		slots[i] = Slot{Proc: i, Instr: v.InstrLo()}
+	}
+	return slots
+}
+
+// DedicatedKernel schedules all P processes at every round: the dedicated
+// environment of Theorem 9 (P_A = P).
+type DedicatedKernel struct{ NumProcs int }
+
+// P returns the number of processes.
+func (k DedicatedKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules everyone.
+func (k DedicatedKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	return allSlots(k.NumProcs, v)
+}
+
+// BenignKernel is the Theorem 10 adversary: it chooses how many processes
+// run each round (via Avail), and the engine's rng picks which ones
+// uniformly at random.
+type BenignKernel struct {
+	NumProcs int
+	// Avail returns the number of processes to schedule at round r. If
+	// nil, a uniformly random count in [1, P] is used.
+	Avail func(r int) int
+}
+
+// P returns the number of processes.
+func (k BenignKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules Avail(r) uniformly random processes.
+func (k BenignKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	n := 0
+	if k.Avail != nil {
+		n = k.Avail(r)
+	} else {
+		n = 1 + rng.Intn(k.NumProcs)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > k.NumProcs {
+		n = k.NumProcs
+	}
+	perm := rng.Perm(k.NumProcs)[:n]
+	slots := make([]Slot, 0, n)
+	for _, p := range perm {
+		slots = append(slots, Slot{Proc: p, Instr: v.InstrLo() + rng.Intn(v.InstrHi()-v.InstrLo()+1)})
+	}
+	return slots
+}
+
+// ConstBenign returns a benign kernel that schedules exactly avail random
+// processes every round, so P_A ~= avail.
+func ConstBenign(p, avail int) BenignKernel {
+	return BenignKernel{NumProcs: p, Avail: func(int) int { return avail }}
+}
+
+// ObliviousKernel commits to a schedule before execution: Schedule(r) lists
+// the process ids to run at round r, independent of execution state. The
+// Theorem 11 adversary.
+type ObliviousKernel struct {
+	NumProcs int
+	Schedule func(r int) []int
+}
+
+// P returns the number of processes.
+func (k ObliviousKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules the precommitted set.
+func (k ObliviousKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	ids := k.Schedule(r)
+	slots := make([]Slot, 0, len(ids))
+	for _, p := range ids {
+		slots = append(slots, Slot{Proc: p, Instr: v.InstrLo()})
+	}
+	return slots
+}
+
+// NewSeededOblivious returns an oblivious kernel whose round-r set is a
+// pseudorandom subset of avail processes derived from seed and r only (so
+// it is fixed before execution, unlike BenignKernel whose subsets consume
+// the engine's evolving rng state).
+func NewSeededOblivious(p, avail int, seed int64) ObliviousKernel {
+	return ObliviousKernel{
+		NumProcs: p,
+		Schedule: func(r int) []int {
+			rng := rand.New(rand.NewSource(seed ^ (int64(r)+1)*0x5851F42D4C957F2D))
+			return rng.Perm(p)[:avail]
+		},
+	}
+}
+
+// FixedSetKernel always schedules the same subset of processes: the
+// simplest oblivious starvation schedule. Without yieldToRandom the
+// computation livelocks whenever the excluded processes hold all the work;
+// with yieldToRandom the substitution rule eventually forces excluded
+// processes in (Theorem 11's mechanism).
+type FixedSetKernel struct {
+	NumProcs int
+	Set      []int
+}
+
+// P returns the number of processes.
+func (k FixedSetKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules the fixed set.
+func (k FixedSetKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	slots := make([]Slot, 0, len(k.Set))
+	for _, p := range k.Set {
+		slots = append(slots, Slot{Proc: p, Instr: v.InstrLo()})
+	}
+	return slots
+}
+
+// StarveWorkersKernel is an adaptive adversary that schedules only
+// processes with no assigned node (thieves), starving every process that
+// holds work. Without yieldToAll this prevents all progress; the
+// substitution rule of yieldToAll defeats it (Theorem 12's mechanism).
+// If every process holds work it schedules the single process with the
+// smallest id, to stay minimally live.
+type StarveWorkersKernel struct{ NumProcs int }
+
+// P returns the number of processes.
+func (k StarveWorkersKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules only apparent thieves.
+func (k StarveWorkersKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	var slots []Slot
+	for p := 0; p < k.NumProcs; p++ {
+		if v.Halted(p) {
+			continue
+		}
+		if !v.HasAssigned(p) && v.DequeSize(p) == 0 {
+			slots = append(slots, Slot{Proc: p, Instr: v.InstrLo()})
+		}
+	}
+	if len(slots) == 0 {
+		for p := 0; p < k.NumProcs; p++ {
+			if !v.Halted(p) {
+				return []Slot{{Proc: p, Instr: v.InstrLo()}}
+			}
+		}
+	}
+	return slots
+}
+
+// PreemptLockHolderKernel is an adaptive adversary that schedules every
+// process EXCEPT those currently holding a deque lock. Against the
+// lock-based deque it preempts a process the moment it acquires a lock and
+// lets every other process spin on it — the pathology non-blocking data
+// structures eliminate. Against the ABP deque there are no lock holders, so
+// it degenerates to the dedicated kernel.
+type PreemptLockHolderKernel struct{ NumProcs int }
+
+// P returns the number of processes.
+func (k PreemptLockHolderKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules all non-lock-holders (always at least one process).
+func (k PreemptLockHolderKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	holders := make(map[int]bool)
+	for p := 0; p < k.NumProcs; p++ {
+		if h := v.LockHolder(p); h >= 0 {
+			holders[h] = true
+		}
+	}
+	var slots []Slot
+	for p := 0; p < k.NumProcs; p++ {
+		if !holders[p] && !v.Halted(p) {
+			slots = append(slots, Slot{Proc: p, Instr: v.InstrLo()})
+		}
+	}
+	if len(slots) == 0 { // everyone holds a lock or halted: release pressure
+		for p := 0; p < k.NumProcs; p++ {
+			if !v.Halted(p) {
+				return []Slot{{Proc: p, Instr: v.InstrLo()}}
+			}
+		}
+	}
+	return slots
+}
+
+// PeriodicKernel schedules all P processes at rounds that are multiples of
+// Period and nobody in between: the simulator analogue of the Theorem 1
+// lower-bound kernel (package offline). Period = 1 is dedicated.
+type PeriodicKernel struct {
+	NumProcs int
+	Period   int
+}
+
+// P returns the number of processes.
+func (k PeriodicKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules everyone every Period-th round.
+func (k PeriodicKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	if k.Period < 1 {
+		panic(fmt.Sprintf("sim: PeriodicKernel period %d", k.Period))
+	}
+	if r%k.Period != 0 {
+		return nil
+	}
+	return allSlots(k.NumProcs, v)
+}
+
+// ManualKernel replays an explicit list of rounds, then schedules everyone.
+// Used by tests that need precise control.
+type ManualKernel struct {
+	NumProcs int
+	Rounds   [][]Slot
+}
+
+// P returns the number of processes.
+func (k ManualKernel) P() int { return k.NumProcs }
+
+// PlanRound replays the scripted round, or schedules everyone past the end.
+func (k ManualKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	if r < len(k.Rounds) {
+		return k.Rounds[r]
+	}
+	return allSlots(k.NumProcs, v)
+}
+
+// CoschedulingKernel models gang scheduling (Ousterhout 1982; Feitelson &
+// Rudolph 1995), the related-work alternative the paper's Section 5
+// discusses: the whole computation is scheduled simultaneously for OnRounds
+// rounds, then completely descheduled for OffRounds rounds while another
+// gang owns the machine. Work stealing needs no yields here: whenever
+// anything runs, everything runs.
+type CoschedulingKernel struct {
+	NumProcs  int
+	OnRounds  int
+	OffRounds int
+}
+
+// P returns the number of processes.
+func (k CoschedulingKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules the whole gang or nobody.
+func (k CoschedulingKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	if k.OnRounds < 1 || k.OffRounds < 0 {
+		panic(fmt.Sprintf("sim: bad coscheduling kernel %+v", k))
+	}
+	if r%(k.OnRounds+k.OffRounds) < k.OnRounds {
+		return allSlots(k.NumProcs, v)
+	}
+	return nil
+}
+
+// SpacePartitionKernel models static space partitioning (the other
+// Section 5 alternative): a fixed subset of Avail processes runs at every
+// round, the rest never run. Unlike the oblivious FixedSetKernel used as a
+// starvation adversary, this kernel always includes process zero, modeling
+// an allocator that grants the job Avail dedicated processors; the
+// remaining P-Avail processes exist but are never serviced, so the
+// scheduler must make progress with a statically reduced P_A.
+type SpacePartitionKernel struct {
+	NumProcs int
+	Avail    int
+}
+
+// P returns the number of processes.
+func (k SpacePartitionKernel) P() int { return k.NumProcs }
+
+// PlanRound schedules processes 0..Avail-1.
+func (k SpacePartitionKernel) PlanRound(r int, v *View, rng *rand.Rand) []Slot {
+	n := k.Avail
+	if n < 1 || n > k.NumProcs {
+		panic(fmt.Sprintf("sim: bad space partition %+v", k))
+	}
+	slots := make([]Slot, 0, n)
+	for p := 0; p < n; p++ {
+		slots = append(slots, Slot{Proc: p, Instr: v.InstrLo()})
+	}
+	return slots
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "worksteal/internal/dag"
+
+// View exposes read-only execution state. Adaptive kernels may consult it
+// freely; oblivious and benign kernels must restrict themselves to P,
+// InstrLo and InstrHi (this is a convention the engine cannot enforce).
+// Observers use the richer snapshot methods for analysis.
+type View struct {
+	e *Engine
+}
+
+// P returns the number of processes.
+func (v *View) P() int { return v.e.cfg.P }
+
+// InstrLo returns the minimum per-round instruction budget (2C).
+func (v *View) InstrLo() int { return v.e.cfg.InstrLo }
+
+// InstrHi returns the maximum per-round instruction budget (3C).
+func (v *View) InstrHi() int { return v.e.cfg.InstrHi }
+
+// Halted reports whether process p has observed termination and stopped.
+func (v *View) Halted(p int) bool { return v.e.procs[p].phase == phHalted }
+
+// HasAssigned reports whether process p currently holds an assigned node.
+func (v *View) HasAssigned(p int) bool { return v.e.procs[p].assigned != dag.None }
+
+// DequeSize returns the apparent size of process p's deque.
+func (v *View) DequeSize(p int) int { return v.e.procs[p].deque.size() }
+
+// IsThief reports whether process p is between work: no assigned node and
+// currently yielding or stealing.
+func (v *View) IsThief(p int) bool {
+	ph := v.e.procs[p].phase
+	return v.e.procs[p].assigned == dag.None && (ph == phYield || ph == phSteal)
+}
+
+// LockHolder returns the process currently holding the lock of p's deque,
+// or -1 (always -1 for ABP deques).
+func (v *View) LockHolder(p int) int { return v.e.procs[p].deque.lockHolder() }
+
+// NodesExecuted returns how many dag nodes have executed so far.
+func (v *View) NodesExecuted() int { return v.e.state.NumExecuted() }
+
+// ProcSnapshot is the analysis-facing view of one process at an instant.
+type ProcSnapshot struct {
+	// Assigned is the process's assigned node, or dag.None.
+	Assigned dag.NodeID
+	// Deque lists the deque contents from bottom to top (the x1..xk order
+	// of Lemma 3). Valid only when Stable.
+	Deque []dag.NodeID
+	// Stable is false while the owner has a deque operation in flight, in
+	// which case Deque may be transiently inconsistent.
+	Stable bool
+	// Halted reports whether the process has stopped.
+	Halted bool
+	// Phase is the scheduling-loop phase name (for diagnostics).
+	Phase string
+}
+
+// Snapshot captures all processes. Deque snapshots of processes with
+// in-flight owner operations are marked unstable.
+func (e *Engine) Snapshot() []ProcSnapshot {
+	out := make([]ProcSnapshot, len(e.procs))
+	for i, p := range e.procs {
+		out[i] = ProcSnapshot{
+			Assigned: p.assigned,
+			Deque:    p.deque.snapshot(),
+			Stable:   !p.busyWithDeque(),
+			Halted:   p.phase == phHalted,
+			Phase:    p.phase.String(),
+		}
+	}
+	return out
+}
+
+// State returns the live dag execution state (read-only use only).
+func (e *Engine) State() *dag.State { return e.state }
+
+// Graph returns the computation being executed.
+func (e *Engine) Graph() *dag.Graph { return e.g }
+
+// Done reports whether the final node has executed.
+func (e *Engine) Done() bool { return e.done }
+
+// ThrowsSoFar returns the cumulative number of throws across all processes,
+// for per-round phase analysis by observers.
+func (e *Engine) ThrowsSoFar() int {
+	n := 0
+	for _, p := range e.procs {
+		n += p.throws
+	}
+	return n
+}
+
+// StepsSoFar returns the number of kernel steps executed so far.
+func (e *Engine) StepsSoFar() int { return e.steps }
+
+// P returns the number of processes.
+func (e *Engine) P() int { return e.cfg.P }
+
+// LastExecuted returns the most recently executed node, or dag.None before
+// the first execution. Observers use it from OnInstruction to attribute
+// node executions to steps.
+func (e *Engine) LastExecuted() dag.NodeID {
+	if e.state.NumExecuted() == 0 {
+		return dag.None
+	}
+	return e.lastExec
+}

@@ -1,0 +1,73 @@
+// Package table prints fixed-width text tables for the experiment
+// harnesses, in the style of the rows a paper's evaluation section reports.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v, and float64 values with
+// four significant digits.
+func (t *Table) Row(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "## %s\n", t.title)
+	}
+	var sb strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	header := strings.TrimRight(sb.String(), " ")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, cell := range row {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", width, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,45 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("demo", "name", "value", "ratio")
+	tb.Row("alpha", 42, 1.23456789)
+	tb.Row("b", 7, 0.5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"## demo", "name", "alpha", "1.235", "0.5", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows = 5 lines.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.Row(1)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.Contains(sb.String(), "##") {
+		t.Errorf("unexpected title marker:\n%s", sb.String())
+	}
+}
+
+func TestRenderRaggedRow(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.Row(1, 2, 3) // extra cell must not panic
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "3") {
+		t.Errorf("extra cell dropped:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import "worksteal/internal/dag"
+
+// Spec names a dag workload and constructs it on demand. The experiment
+// harnesses iterate over catalogs of Specs.
+type Spec struct {
+	Name  string
+	Build func() *dag.Graph
+}
+
+// Catalog returns the standard dag workloads used by the experiment
+// harnesses, spanning parallelism from 1 (chain) to hundreds (fib), and
+// including non-fully-strict dags (grid, strands).
+func Catalog() []Spec {
+	return []Spec{
+		{"chain", func() *dag.Graph { return Chain(2000) }},
+		{"spine", func() *dag.Graph { return SpawnSpine(32, 64) }},
+		{"fib", func() *dag.Graph { return FibDag(16) }},
+		{"grid", func() *dag.Graph { return Grid(32, 64) }},
+		{"strands", func() *dag.Graph { return Strands(24, 41) }},
+		{"randomSP", func() *dag.Graph { return RandomSP(42, 3000) }},
+		{"treesum", func() *dag.Graph { return TreeSum(9) }},
+		{"uts", func() *dag.Graph { return UnbalancedTree(7, 3000) }},
+	}
+}
+
+// SmallCatalog returns quick-running variants for unit tests.
+func SmallCatalog() []Spec {
+	return []Spec{
+		{"chain", func() *dag.Graph { return Chain(50) }},
+		{"spine", func() *dag.Graph { return SpawnSpine(6, 8) }},
+		{"fib", func() *dag.Graph { return FibDag(8) }},
+		{"grid", func() *dag.Graph { return Grid(6, 9) }},
+		{"strands", func() *dag.Graph { return Strands(5, 7) }},
+		{"randomSP", func() *dag.Graph { return RandomSP(7, 200) }},
+		{"treesum", func() *dag.Graph { return TreeSum(4) }},
+		{"uts", func() *dag.Graph { return UnbalancedTree(7, 150) }},
+	}
+}

@@ -1,0 +1,312 @@
+// Package workload provides computation-dag generators with known work and
+// critical-path length, plus native task workloads for the work-stealing
+// pool. The dag generators cover the regimes that matter for the paper's
+// bounds: serial (parallelism 1), maximally parallel, recursive fork-join
+// (fully strict, Cilk-like), and non-fully-strict dags with semaphore-style
+// synchronization edges (the generalization the paper makes over Blumofe and
+// Leiserson's earlier fully-strict analysis).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"worksteal/internal/dag"
+)
+
+// Chain returns a serial chain of n nodes: T1 = n, Tinf = n, parallelism 1.
+// Work stealing can use only one process productively; the bound degenerates
+// to O(T1/P_A + Tinf P/P_A) = O(n P/P_A).
+func Chain(n int) *dag.Graph {
+	if n < 1 {
+		panic("workload: Chain requires n >= 1")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("chain(%d)", n))
+	t := b.NewThread()
+	b.AddChain(t, n)
+	return b.MustBuild()
+}
+
+// SpawnSpine returns a dag in which the root thread spawns n independent
+// child chains of childLen nodes each and then joins them in order:
+//
+//	T1 = 2n + n*childLen
+//	Tinf = max(2n, n + childLen + 1)
+//
+// With childLen >> n the parallelism approaches n, making this the standard
+// "embarrassingly parallel with a serial spine" workload.
+func SpawnSpine(n, childLen int) *dag.Graph {
+	if n < 1 || childLen < 1 {
+		panic("workload: SpawnSpine requires n, childLen >= 1")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("spine(%d,%d)", n, childLen))
+	root := b.NewThread()
+	spawnNodes := make([]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		spawnNodes[i] = b.AddNode(root)
+	}
+	childLast := make([]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		ct, first := b.Spawn(spawnNodes[i])
+		last := first
+		for j := 1; j < childLen; j++ {
+			last = b.AddNode(ct)
+		}
+		childLast[i] = last
+	}
+	for i := 0; i < n; i++ {
+		join := b.AddNode(root)
+		b.AddSync(childLast[i], join)
+	}
+	return b.MustBuild()
+}
+
+// FibDag returns the computation dag of the naive parallel Fibonacci
+// program, the canonical fully strict fork-join workload:
+//
+//	fib(k) for k >= 2: node a spawns fib(k-1), node b spawns fib(k-2),
+//	node c joins both children; fib(0) and fib(1) are single-node threads.
+//
+// Every internal call contributes 3 nodes and every leaf 1 node, so with
+// calls(n) total calls and leaves(n) leaf calls, T1 = 3(calls - leaves) +
+// leaves. The critical path grows linearly in n while the work grows
+// exponentially, so parallelism grows exponentially.
+func FibDag(n int) *dag.Graph {
+	if n < 0 {
+		panic("workload: FibDag requires n >= 0")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("fib(%d)", n))
+	root := b.NewThread()
+	first := b.AddNode(root)
+	fibBody(b, root, first, n)
+	return b.MustBuild()
+}
+
+// fibBody treats first as the already-appended first node of a fib(k) body
+// in thread t, appends the rest of the body, and returns its last node.
+func fibBody(b *dag.Builder, t dag.ThreadID, first dag.NodeID, k int) dag.NodeID {
+	if k < 2 {
+		return first // fib(0) and fib(1) are single-node threads
+	}
+	// first is node a: it spawns fib(k-1).
+	ct1, cfirst1 := b.Spawn(first)
+	last1 := fibBody(b, ct1, cfirst1, k-1)
+	// Node b spawns fib(k-2).
+	bb := b.AddNode(t)
+	ct2, cfirst2 := b.Spawn(bb)
+	last2 := fibBody(b, ct2, cfirst2, k-2)
+	// Node c joins both children.
+	c := b.AddNode(t)
+	b.AddSync(last1, c)
+	b.AddSync(last2, c)
+	return c
+}
+
+// Grid returns a rows x cols wavefront dag: each row is a thread, node
+// (i, j) has a continuation edge to (i, j+1) and a synchronization edge to
+// (i+1, j). Row i+1 is spawned from node (i, 0). This is the non-fully-strict
+// pipeline pattern of stencil computations:
+//
+//	T1 = rows*cols, Tinf = rows + cols - 1.
+func Grid(rows, cols int) *dag.Graph {
+	if rows < 1 || cols < 2 {
+		panic("workload: Grid requires rows >= 1, cols >= 2")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("grid(%dx%d)", rows, cols))
+	nodes := make([][]dag.NodeID, rows)
+	t := b.NewThread()
+	nodes[0] = make([]dag.NodeID, cols)
+	for j := 0; j < cols; j++ {
+		nodes[0][j] = b.AddNode(t)
+	}
+	for i := 1; i < rows; i++ {
+		ti, first := b.Spawn(nodes[i-1][0])
+		nodes[i] = make([]dag.NodeID, cols)
+		nodes[i][0] = first
+		for j := 1; j < cols; j++ {
+			nodes[i][j] = b.AddNode(ti)
+			b.AddSync(nodes[i-1][j], nodes[i][j])
+		}
+	}
+	return b.MustBuild()
+}
+
+// Strands returns a Figure-1-style dag scaled up: k sibling threads hanging
+// off a root spine, where consecutive siblings synchronize through
+// semaphore-style edges midway (thread i's middle node signals thread i+1's
+// middle node). It exercises Block/Enable transitions heavily.
+func Strands(k, length int) *dag.Graph {
+	if k < 1 || length < 3 {
+		panic("workload: Strands requires k >= 1, length >= 3")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("strands(%d,%d)", k, length))
+	root := b.NewThread()
+	mids := make([]dag.NodeID, k)
+	lasts := make([]dag.NodeID, k)
+	for i := 0; i < k; i++ {
+		s := b.AddNode(root)
+		ct, first := b.Spawn(s)
+		mid := first
+		for j := 1; j < length; j++ {
+			n := b.AddNode(ct)
+			if j == length/2 {
+				mid = n
+			}
+			lasts[i] = n
+		}
+		mids[i] = mid
+		if i > 0 {
+			// Thread i's progress past its midpoint waits for thread i-1's
+			// midpoint signal: a cross-thread semaphore edge.
+			b.AddSync(mids[i-1], mids[i])
+		}
+	}
+	for i := 0; i < k; i++ {
+		join := b.AddNode(root)
+		b.AddSync(lasts[i], join)
+	}
+	return b.MustBuild()
+}
+
+// RandomSP returns a random series-parallel computation of roughly
+// targetSize nodes, generated by a random recursive spawn/join program. The
+// result is always a valid computation dag. The same seed yields the same
+// graph.
+func RandomSP(seed int64, targetSize int) *dag.Graph {
+	if targetSize < 2 {
+		panic("workload: RandomSP requires targetSize >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("randomSP(seed=%d,n=%d)", seed, targetSize))
+	root := b.NewThread()
+	b.AddNode(root)
+	var grow func(t dag.ThreadID, budget int) dag.NodeID
+	grow = func(t dag.ThreadID, budget int) dag.NodeID {
+		last := dag.None
+		for budget > 0 {
+			switch rng.Intn(4) {
+			case 0, 1: // straight-line work
+				n := 1 + rng.Intn(3)
+				if n > budget {
+					n = budget
+				}
+				_, last = b.AddChain(t, n)
+				budget -= n
+			default: // spawn a child, recurse, then join
+				if budget < 4 {
+					_, last = b.AddChain(t, budget)
+					budget = 0
+					break
+				}
+				s := b.AddNode(t)
+				budget--
+				ct, cfirst := b.Spawn(s)
+				sub := 1 + rng.Intn(budget/2+1)
+				clast := cfirst
+				if sub > 1 {
+					clast = grow(ct, sub-1)
+				}
+				budget -= sub
+				j := b.AddNode(t)
+				budget--
+				b.AddSync(clast, j)
+				last = j
+			}
+		}
+		if last == dag.None {
+			last = b.AddNode(t)
+		}
+		return last
+	}
+	grow(root, targetSize-2)
+	b.AddNode(root) // single final node
+	return b.MustBuild()
+}
+
+// TreeSum returns the computation dag of a balanced binary fork-join
+// reduction of depth d (for example summing a perfect binary tree): every
+// internal call spawns two children and joins them, exactly like FibDag but
+// with balanced recursion:
+//
+//	T1 = 3*(2^d - 1) + 2^d, Tinf = 3d + 1.
+func TreeSum(depth int) *dag.Graph {
+	if depth < 0 || depth > 24 {
+		panic("workload: TreeSum depth out of range")
+	}
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("treesum(%d)", depth))
+	root := b.NewThread()
+	first := b.AddNode(root)
+	treeBody(b, root, first, depth)
+	return b.MustBuild()
+}
+
+func treeBody(b *dag.Builder, t dag.ThreadID, first dag.NodeID, depth int) dag.NodeID {
+	if depth == 0 {
+		return first
+	}
+	ct1, cfirst1 := b.Spawn(first)
+	last1 := treeBody(b, ct1, cfirst1, depth-1)
+	bb := b.AddNode(t)
+	ct2, cfirst2 := b.Spawn(bb)
+	last2 := treeBody(b, ct2, cfirst2, depth-1)
+	c := b.AddNode(t)
+	b.AddSync(last1, c)
+	b.AddSync(last2, c)
+	return c
+}
+
+// UnbalancedTree returns a randomly skewed binary fork-join tree of roughly
+// the given size, in the spirit of the Unbalanced Tree Search benchmark:
+// subtree sizes are drawn from a heavily skewed distribution, so naive
+// static partitioning fails while work stealing's dynamic balancing
+// shines. The same seed yields the same graph.
+func UnbalancedTree(seed int64, size int) *dag.Graph {
+	if size < 1 {
+		panic("workload: UnbalancedTree requires size >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder()
+	b.SetLabel(fmt.Sprintf("uts(seed=%d,n=%d)", seed, size))
+	root := b.NewThread()
+	first := b.AddNode(root)
+	unbalancedBody(b, rng, root, first, size)
+	return b.MustBuild()
+}
+
+// unbalancedBody builds a fork-join body of ~budget nodes whose first node
+// already exists, returning the last node.
+func unbalancedBody(b *dag.Builder, rng *rand.Rand, t dag.ThreadID, first dag.NodeID, budget int) dag.NodeID {
+	if budget < 7 { // too small to split: a serial chain
+		if budget > 1 {
+			_, last := b.AddChain(t, budget-1)
+			return last
+		}
+		return first
+	}
+	// Skewed split: cube a uniform variate so one side is usually tiny.
+	frac := rng.Float64()
+	frac = frac * frac * frac
+	rest := budget - 3 // the a, b, c nodes of this body
+	nL := 1 + int(frac*float64(rest-2))
+	nR := rest - nL
+	if nR < 1 {
+		nR = 1
+		nL = rest - 1
+	}
+	ct1, cfirst1 := b.Spawn(first)
+	last1 := unbalancedBody(b, rng, ct1, cfirst1, nL)
+	bb := b.AddNode(t)
+	ct2, cfirst2 := b.Spawn(bb)
+	last2 := unbalancedBody(b, rng, ct2, cfirst2, nR)
+	c := b.AddNode(t)
+	b.AddSync(last1, c)
+	b.AddSync(last2, c)
+	return c
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"worksteal/internal/dag"
+)
+
+func TestChainMetrics(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		g := Chain(n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Chain(%d): %v", n, err)
+		}
+		if g.Work() != n || g.CriticalPath() != n {
+			t.Errorf("Chain(%d): work=%d span=%d", n, g.Work(), g.CriticalPath())
+		}
+	}
+}
+
+func TestChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chain(0) did not panic")
+		}
+	}()
+	Chain(0)
+}
+
+func TestSpawnSpineMetrics(t *testing.T) {
+	cases := []struct{ n, childLen int }{{1, 1}, {2, 5}, {8, 3}, {16, 100}, {5, 1}}
+	for _, c := range cases {
+		g := SpawnSpine(c.n, c.childLen)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("SpawnSpine(%d,%d): %v", c.n, c.childLen, err)
+		}
+		wantWork := 2*c.n + c.n*c.childLen
+		if g.Work() != wantWork {
+			t.Errorf("SpawnSpine(%d,%d): work=%d, want %d", c.n, c.childLen, g.Work(), wantWork)
+		}
+		wantSpan := 2 * c.n
+		if s := c.n + c.childLen + 1; s > wantSpan {
+			wantSpan = s
+		}
+		if g.CriticalPath() != wantSpan {
+			t.Errorf("SpawnSpine(%d,%d): span=%d, want %d", c.n, c.childLen, g.CriticalPath(), wantSpan)
+		}
+		if g.NumThreads() != c.n+1 {
+			t.Errorf("SpawnSpine(%d,%d): threads=%d, want %d", c.n, c.childLen, g.NumThreads(), c.n+1)
+		}
+	}
+}
+
+// fibCallCounts returns (total calls, leaf calls) of naive fib(n).
+func fibCallCounts(n int) (calls, leaves int) {
+	if n < 2 {
+		return 1, 1
+	}
+	c1, l1 := fibCallCounts(n - 1)
+	c2, l2 := fibCallCounts(n - 2)
+	return c1 + c2 + 1, l1 + l2
+}
+
+func TestFibDagMetrics(t *testing.T) {
+	for n := 0; n <= 14; n++ {
+		g := FibDag(n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("FibDag(%d): %v", n, err)
+		}
+		calls, leaves := fibCallCounts(n)
+		wantWork := 3*(calls-leaves) + leaves
+		if g.Work() != wantWork {
+			t.Errorf("FibDag(%d): work=%d, want %d", n, g.Work(), wantWork)
+		}
+		if g.NumThreads() != calls {
+			t.Errorf("FibDag(%d): threads=%d, want %d", n, g.NumThreads(), calls)
+		}
+		// Span recurrence: span(k) = max(span(k-1)+2, span(k-2)+3) with
+		// span(0) = span(1) = 1, which solves to span(k) = 2k for k >= 2.
+		wantSpan := 1
+		if n >= 2 {
+			wantSpan = 2 * n
+		}
+		if g.CriticalPath() != wantSpan {
+			t.Errorf("FibDag(%d): span=%d, want %d", n, g.CriticalPath(), wantSpan)
+		}
+	}
+}
+
+func TestFibParallelismGrows(t *testing.T) {
+	p10 := FibDag(10).Parallelism()
+	p14 := FibDag(14).Parallelism()
+	if p14 <= p10 {
+		t.Errorf("parallelism should grow: fib(10)=%v fib(14)=%v", p10, p14)
+	}
+	if p14 < 5 {
+		t.Errorf("fib(14) parallelism %v suspiciously low", p14)
+	}
+}
+
+func TestGridMetrics(t *testing.T) {
+	cases := []struct{ rows, cols int }{{1, 2}, {2, 2}, {4, 7}, {10, 10}}
+	for _, c := range cases {
+		g := Grid(c.rows, c.cols)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Grid(%d,%d): %v", c.rows, c.cols, err)
+		}
+		if g.Work() != c.rows*c.cols {
+			t.Errorf("Grid(%d,%d): work=%d", c.rows, c.cols, g.Work())
+		}
+		if g.CriticalPath() != c.rows+c.cols-1 {
+			t.Errorf("Grid(%d,%d): span=%d, want %d", c.rows, c.cols, g.CriticalPath(), c.rows+c.cols-1)
+		}
+		if g.NumThreads() != c.rows {
+			t.Errorf("Grid(%d,%d): threads=%d", c.rows, c.cols, g.NumThreads())
+		}
+	}
+}
+
+func TestStrandsValid(t *testing.T) {
+	for _, c := range []struct{ k, l int }{{1, 3}, {2, 4}, {5, 9}, {8, 20}} {
+		g := Strands(c.k, c.l)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Strands(%d,%d): %v", c.k, c.l, err)
+		}
+		if g.Work() != 2*c.k+c.k*c.l {
+			t.Errorf("Strands(%d,%d): work=%d, want %d", c.k, c.l, g.Work(), 2*c.k+c.k*c.l)
+		}
+		if g.NumThreads() != c.k+1 {
+			t.Errorf("Strands(%d,%d): threads=%d", c.k, c.l, g.NumThreads())
+		}
+	}
+}
+
+func TestRandomSPDeterministic(t *testing.T) {
+	g1 := RandomSP(123, 500)
+	g2 := RandomSP(123, 500)
+	if g1.NumNodes() != g2.NumNodes() || g1.NumThreads() != g2.NumThreads() {
+		t.Fatalf("RandomSP not deterministic: %v vs %v", g1, g2)
+	}
+	if g1.CriticalPath() != g2.CriticalPath() {
+		t.Fatalf("RandomSP spans differ: %d vs %d", g1.CriticalPath(), g2.CriticalPath())
+	}
+}
+
+func TestQuickRandomSPAlwaysValid(t *testing.T) {
+	prop := func(seed int64, szRaw uint16) bool {
+		size := 10 + int(szRaw)%2000
+		g := RandomSP(seed, size)
+		if g.Validate() != nil {
+			return false
+		}
+		// Budget accounting must keep the size near the target (the final
+		// padding node and chain rounding add only O(1) slack per step).
+		return g.NumNodes() >= size/2 && g.CriticalPath() <= g.Work()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogsValid(t *testing.T) {
+	for _, cat := range [][]Spec{Catalog(), SmallCatalog()} {
+		for _, spec := range cat {
+			g := spec.Build()
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s: %v", spec.Name, err)
+			}
+			if g.Label() == "" {
+				t.Errorf("%s: missing label", spec.Name)
+			}
+		}
+	}
+}
+
+// Every generated dag must be executable to completion in a greedy
+// left-to-right order (sanity for downstream schedulers).
+func TestAllWorkloadsExecutable(t *testing.T) {
+	for _, spec := range SmallCatalog() {
+		g := spec.Build()
+		s := dag.NewState(g)
+		for !s.Done() {
+			ready := s.ReadyNodes()
+			if len(ready) == 0 {
+				t.Fatalf("%s: deadlock with %d/%d executed", spec.Name, s.NumExecuted(), g.Work())
+			}
+			for _, u := range ready {
+				s.Execute(u)
+			}
+		}
+	}
+}
+
+func TestTreeSumMetrics(t *testing.T) {
+	for d := 0; d <= 8; d++ {
+		g := TreeSum(d)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("TreeSum(%d): %v", d, err)
+		}
+		internal := 1<<d - 1
+		leaves := 1 << d
+		if want := 3*internal + leaves; g.Work() != want {
+			t.Errorf("TreeSum(%d): work %d, want %d", d, g.Work(), want)
+		}
+		if want := 3*d + 1; g.CriticalPath() != want {
+			t.Errorf("TreeSum(%d): span %d, want %d", d, g.CriticalPath(), want)
+		}
+		if g.NumThreads() != internal+leaves {
+			t.Errorf("TreeSum(%d): threads %d, want %d", d, g.NumThreads(), internal+leaves)
+		}
+	}
+}
+
+func TestTreeSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TreeSum(-1)
+}
+
+func TestUnbalancedTree(t *testing.T) {
+	for _, size := range []int{1, 6, 7, 50, 2000} {
+		g := UnbalancedTree(3, size)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("UnbalancedTree(%d): %v", size, err)
+		}
+		// Budget accounting is not exact but close: the body consumes at
+		// most its budget and at least half of it.
+		if g.Work() > size || g.Work() < size/2 {
+			t.Errorf("UnbalancedTree(%d): work %d out of range", size, g.Work())
+		}
+	}
+	// Deterministic per seed, different across seeds.
+	a, b2 := UnbalancedTree(9, 1000), UnbalancedTree(9, 1000)
+	if a.Work() != b2.Work() || a.CriticalPath() != b2.CriticalPath() {
+		t.Error("UnbalancedTree not deterministic")
+	}
+	c := UnbalancedTree(10, 1000)
+	if a.Work() == c.Work() && a.CriticalPath() == c.CriticalPath() && a.NumThreads() == c.NumThreads() {
+		t.Error("UnbalancedTree identical across seeds (suspicious)")
+	}
+}
+
+func TestQuickUnbalancedTreeValid(t *testing.T) {
+	prop := func(seed int64, szRaw uint16) bool {
+		size := 1 + int(szRaw)%3000
+		g := UnbalancedTree(seed, size)
+		return g.Validate() == nil && g.Work() <= size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbalancedTreeIsUnbalanced(t *testing.T) {
+	// The span should be far above the balanced-tree span for the same
+	// work on at least some seeds (skewness check).
+	skewedSeen := false
+	for seed := int64(0); seed < 10; seed++ {
+		g := UnbalancedTree(seed, 3000)
+		balancedSpan := 3*11 + 1 // TreeSum(11) has work ~ 2^12*2
+		if g.CriticalPath() > 3*balancedSpan {
+			skewedSeen = true
+		}
+	}
+	if !skewedSeen {
+		t.Error("no seed produced a strongly skewed tree")
+	}
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"testing"
+
+	"worksteal/internal/dag"
+)
+
+// FuzzGeneratorsAlwaysValid checks that the randomized generators produce
+// valid, executable computation dags for arbitrary seeds and sizes.
+func FuzzGeneratorsAlwaysValid(f *testing.F) {
+	f.Add(int64(1), uint16(100))
+	f.Add(int64(-7), uint16(999))
+	f.Add(int64(1<<40), uint16(3))
+	f.Fuzz(func(t *testing.T, seed int64, szRaw uint16) {
+		size := 2 + int(szRaw)%1500
+		for _, g := range []*dag.Graph{RandomSP(seed, size), UnbalancedTree(seed, size)} {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", g.Label(), err)
+			}
+			s := dag.NewState(g)
+			for !s.Done() {
+				ready := s.ReadyNodes()
+				if len(ready) == 0 {
+					t.Fatalf("%s: deadlock", g.Label())
+				}
+				s.Execute(ready[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+// Larger-scale integration runs, skipped with -short.
+package worksteal
+
+import (
+	"testing"
+
+	"worksteal/internal/analysis"
+	"worksteal/internal/sched"
+	"worksteal/internal/sim"
+	"worksteal/internal/workload"
+)
+
+// TestHighProbabilityTail checks the concentration half of Theorem 9: the
+// execution time's tail is light. Across many seeds of the same dedicated
+// configuration, the maximum observed time must stay within a small factor
+// of the mean (the theorem gives mean + O(lg(1/eps)) throws with
+// probability 1-eps, so a heavy tail would falsify it).
+func TestHighProbabilityTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := workload.FibDag(14)
+	const runs = 60
+	times := make([]float64, 0, runs)
+	sum := 0.0
+	for seed := int64(0); seed < runs; seed++ {
+		res := sim.NewEngine(sim.Config{Graph: g, P: 8,
+			Kernel: sim.DedicatedKernel{NumProcs: 8}, Seed: seed, ShuffleSteps: true}).Run()
+		if !res.Completed {
+			t.Fatalf("seed %d incomplete", seed)
+		}
+		times = append(times, float64(res.Steps))
+		sum += float64(res.Steps)
+	}
+	mean := sum / runs
+	worst := 0.0
+	for _, x := range times {
+		if x > worst {
+			worst = x
+		}
+	}
+	if worst > 1.5*mean {
+		t.Errorf("heavy tail: worst %v > 1.5x mean %v", worst, mean)
+	}
+}
+
+// TestSoakLargeSim runs a larger simulation across all adversaries.
+func TestSoakLargeSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := workload.FibDag(18) // T1 = 16717
+	const p = 16
+	for name, cfg := range map[string]sim.Config{
+		"dedicated": {Kernel: sim.DedicatedKernel{NumProcs: p}},
+		"benign":    {Kernel: sim.ConstBenign(p, 4)},
+		"adaptive":  {Kernel: sim.StarveWorkersKernel{NumProcs: p}, Yield: sim.YieldToAll},
+	} {
+		cfg.Graph, cfg.P, cfg.Seed = g, p, 99
+		res := sim.NewEngine(cfg).Run()
+		if !res.Completed || res.NodesExecuted != g.NumNodes() || res.Corruptions != 0 {
+			t.Fatalf("%s: %+v", name, res)
+		}
+	}
+}
+
+// TestSoakNativeLargeGraph runs a large dag natively with all deque kinds.
+func TestSoakNativeLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := workload.UnbalancedTree(5, 200000)
+	for _, kind := range []sched.DequeKind{sched.DequeABP, sched.DequeChaseLev, sched.DequeMutex} {
+		res := sched.RunGraph(sched.GraphConfig{Graph: g, Workers: 8, Deque: kind, Seed: 7})
+		if res.NodesExecuted != int64(g.NumNodes()) {
+			t.Fatalf("deque %d: executed %d of %d", kind, res.NodesExecuted, g.NumNodes())
+		}
+	}
+}
+
+// TestSoakPotentialMonotoneLarge verifies the potential function on a long
+// multiprogrammed run.
+func TestSoakPotentialMonotoneLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	g := workload.Grid(48, 80)
+	tr := analysis.NewPotentialTracker(g.CriticalPath())
+	res := sim.NewEngine(sim.Config{Graph: g, P: 12,
+		Kernel: sim.BenignKernel{NumProcs: 12}, Seed: 3, Observer: tr}).Run()
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	st := analysis.AnalyzePhases(tr.Points, 12)
+	if !st.NeverIncreased {
+		t.Error("potential increased")
+	}
+	if st.Phases > 0 && st.SuccessRate() < 0.25 {
+		t.Errorf("success rate %.2f", st.SuccessRate())
+	}
+}
