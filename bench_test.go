@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"worksteal/internal/analysis"
 	"worksteal/internal/apps"
@@ -379,6 +380,36 @@ func BenchmarkAblationVictim(b *testing.B) {
 				steps += res.Steps
 			}
 			b.ReportMetric(float64(steps)/float64(b.N), "simsteps/op")
+		})
+	}
+}
+
+// BenchmarkIdleOverhead measures what the pool's idle workers cost while a
+// single long serial task holds the run: with the parking lifecycle (the
+// default) steal attempts per op stay near the park threshold, while the
+// spinning ablation (DisableParking, the paper's literal Figure 3 loop)
+// accumulates millions — one full core per idle worker. The wall-clock
+// column should be ~identical (both wait out the same sleep); the
+// stealattempts/op and yields/op metrics are the CPU-burn proxies.
+func BenchmarkIdleOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"parking", false},
+		{"spinning", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := sched.New(sched.Config{Workers: 8, DisableParking: mode.disable})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Run(func(w *sched.Worker) { time.Sleep(5 * time.Millisecond) })
+			}
+			b.StopTimer()
+			s := p.Stats()
+			b.ReportMetric(float64(s.StealAttempts)/float64(b.N), "stealattempts/op")
+			b.ReportMetric(float64(s.Yields)/float64(b.N), "yields/op")
+			b.ReportMetric(float64(s.Parks)/float64(b.N), "parks/op")
 		})
 	}
 }

@@ -9,7 +9,8 @@
 //	abpbench -experiment speedup
 //	abpbench -experiment multiprogram
 //	abpbench -experiment ablation
-//	abpbench -experiment tasks
+//	abpbench -experiment tasks -stats
+//	abpbench -experiment idle
 package main
 
 import (
@@ -28,9 +29,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention")
+		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle")
 		nodeWork = flag.Int("nodework", 2000, "synthetic work per dag node (spin iterations)")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (best time kept)")
+		stats    = flag.Bool("stats", false, "print the scheduler counter table (parks, wakes, backoff, ...) after pool experiments")
 	)
 	flag.Parse()
 
@@ -42,9 +44,11 @@ func main() {
 	case "ablation":
 		ablation(*nodeWork, *reps)
 	case "tasks":
-		tasks(*reps)
+		tasks(*reps, *stats)
 	case "contention":
 		contention(*nodeWork, *reps)
+	case "idle":
+		idleOverhead(*reps)
 	default:
 		fmt.Fprintf(os.Stderr, "abpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -140,7 +144,7 @@ func ablation(nodeWork, reps int) {
 }
 
 // tasks exercises the task-parallel API (Fork/Join, ParallelFor, Reduce).
-func tasks(reps int) {
+func tasks(reps int, showStats bool) {
 	tb := table.New(fmt.Sprintf("task API benchmarks (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
 		"benchmark", "workers", "time", "speedup")
 	type job struct {
@@ -175,9 +179,41 @@ func tasks(reps int) {
 				base = best
 			}
 			tb.Row(j.name, workers, best.Round(time.Microsecond), float64(base)/float64(best))
+			if showStats {
+				fmt.Printf("-- stats: %s, workers=%d\n%s", j.name, workers, p.Stats())
+			}
 		}
 	}
 	tb.Render(os.Stdout)
+}
+
+// idleOverhead measures what idle workers cost while one long serial task
+// holds the pool: with the parking lifecycle (the default) each idle
+// worker makes a handful of steal attempts, backs off, and parks — near
+// zero CPU — while the paper's pure spinning loop (DisableParking) burns
+// every idle core for the full duration. Steal attempts and yields are
+// the CPU-burn proxies.
+func idleOverhead(reps int) {
+	tb := table.New(fmt.Sprintf("idle overhead: 100ms serial task on an 8-worker pool (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+		"config", "steal attempts", "yields", "parks", "wakes", "backoff")
+	for _, m := range []struct {
+		name    string
+		disable bool
+	}{
+		{"parking (default)", false},
+		{"spinning (DisableParking)", true},
+	} {
+		p := sched.New(sched.Config{Workers: 8, DisableParking: m.disable})
+		for r := 0; r < reps; r++ {
+			p.Run(func(w *sched.Worker) { time.Sleep(100 * time.Millisecond) })
+		}
+		s := p.Stats()
+		tb.Row(m.name, s.StealAttempts, s.Yields, s.Parks, s.Wakes,
+			time.Duration(s.BackoffNanos).Round(time.Microsecond))
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("A spinning idle worker attempts steals millions of times per second (one")
+	fmt.Println("core each at 100%); a parked worker stops after ~threshold attempts.")
 }
 
 // contention reproduces the paper's motivating scenario natively: the

@@ -72,6 +72,15 @@ func (d *Deque[T]) Cap() int { return len(d.deq) }
 // Len returns an instantaneous estimate of the number of items. It is exact
 // when called by the owner with no concurrent thieves; under concurrency it
 // may be stale but is never negative.
+//
+// Memory-ordering note for parkers: bot and age are Go atomics, which are
+// sequentially consistent, so a PushBottom that is ordered before some
+// other atomic operation X is visible to any Len ordered after X. The
+// scheduler's park/wake protocol (sched/lifecycle.go) depends on exactly
+// this: a worker publishes its parked flag and then calls Len on every
+// deque, while a producer pushes and then reads the parked flags —
+// whichever interleaving occurs, a freshly pushed task is either seen by
+// the parker's Len scan or earns it a wake signal.
 func (d *Deque[T]) Len() int {
 	bot := d.bot.Load()
 	_, top := unpackAge(d.age.Load())

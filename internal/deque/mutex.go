@@ -14,7 +14,11 @@ type Dequer[T any] interface {
 	// PopTop steals from the top; any process. Returns nil if empty or if
 	// the implementation's relaxed semantics allow a spurious failure.
 	PopTop() *T
-	// Len estimates the current number of items.
+	// Len estimates the current number of items. Implementations must
+	// read their indices with atomic (or lock-protected) loads: the
+	// scheduler's parking protocol calls Len concurrently with owner
+	// pushes and relies on sequentially consistent visibility of a
+	// PushBottom that precedes a parked-flag read (see Deque.Len).
 	Len() int
 }
 

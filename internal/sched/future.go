@@ -37,7 +37,12 @@ func Fork[T any](w *Worker, fn func(*Worker) T) *Future[T] {
 
 // Join returns the future's result, helping to run other tasks until it is
 // available. It must be called from a task running on the pool (pass the
-// current worker).
+// current worker). When no runnable work is visible anywhere, Join blocks
+// on the future's channel rather than spinning — the same
+// park-instead-of-spin discipline as the worker loop (lifecycle.go) — and
+// is woken by the forked task's completion or, if another task panics, by
+// the run's abort, in which case it panics with poolAbortedError so the
+// abort also unwinds joiners that could otherwise wait forever.
 func (f *Future[T]) Join(w *Worker) T {
 	for !f.done.Load() {
 		if t := w.tryGetTask(); t != nil {

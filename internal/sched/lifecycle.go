@@ -1,0 +1,146 @@
+// Worker lifecycle: backoff and parking for idle workers.
+//
+// The paper's Figure 3 loop spins forever — pop, yield, steal — because in
+// its model the kernel already charges a spinning thief's steal attempts
+// against the schedule's bound; burning the processor is the analysis's
+// problem, not the program's. On a live machine it is very much the
+// program's problem: every idle worker pins a full core at 100%. This file
+// adds the standard remedy, the one Go's own runtime (findRunnable ->
+// stopm/wakep) and ForkJoinPool use atop the same ABP-style deques: after
+// parkThreshold consecutive failed steal attempts a worker backs off with
+// exponentially growing sleeps, then parks on a per-worker token channel.
+// Spawn wakes one parked worker whenever it makes new work stealable.
+//
+// Lost-wakeup freedom is the usual Dekker argument over Go's sequentially
+// consistent atomics: a producer pushes (an atomic store inside the deque)
+// and then reads the parked flags; a parker publishes its parked flag and
+// then re-scans every deque. Whichever order the two interleave in, one
+// side must observe the other, so a task pushed while a worker is going to
+// sleep either earns that worker a wake token or is seen by its pre-block
+// recheck. Spurious wake tokens are harmless (the worker scans, finds
+// nothing, and parks again); only lost ones would be fatal.
+//
+// Termination needs no flag-spinning either: the worker whose task
+// decrement drives pending to zero closes the run's done channel, waking
+// every parked worker at once so the pool shuts down cleanly — the
+// stopped flag is now only the loop-exit condition, never a spin target.
+//
+// The paper's yield discipline is preserved where it matters: in the hot
+// phase (below the threshold) a thief still calls runtime.Gosched between
+// steal attempts, exactly Figure 3's yield-then-steal round. Parking only
+// ever happens when every deque is observably empty, i.e. when the steal
+// the paper would have made was guaranteed to fail anyway.
+package sched
+
+import (
+	"runtime"
+	"time"
+)
+
+const (
+	// backoffSteps sleeps of backoffBase<<step precede parking
+	// (1us..64us, ~127us total): work arriving shortly after a worker
+	// goes idle is picked up with microsecond latency, while longer
+	// idle gaps cost one park/wake round trip.
+	backoffSteps = 7
+	backoffBase  = time.Microsecond
+)
+
+// loop is the Figure 3 scheduling loop — pop the bottom of the local
+// deque; when empty, yield and steal from the top of a random victim —
+// wrapped in the backoff/parking lifecycle described above.
+func (w *Worker) loop() {
+	defer w.pool.wg.Done()
+	if w.pool.cfg.Pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	if t := w.handoff; t != nil { // root fallback from submitRoot
+		w.handoff = nil
+		w.exec(t)
+	}
+	fails := 0
+	for !w.pool.stopped.Load() {
+		t := w.dq.PopBottom()
+		if t == nil {
+			if !w.pool.cfg.DisableYield {
+				w.yields.Add(1)
+				runtime.Gosched()
+			}
+			t = w.stealOnce()
+		}
+		if t != nil {
+			fails = 0
+			w.exec(t)
+			continue
+		}
+		fails++
+		if w.idleWait(fails) {
+			fails = 0 // parked and woke: restart the hot phase
+		}
+	}
+}
+
+// idleWait escalates an idle worker through the lifecycle: hot spinning
+// below parkThreshold, then exponential sleeps, then parking. It reports
+// whether the worker parked (the caller restarts the hot phase).
+func (w *Worker) idleWait(fails int) bool {
+	p := w.pool
+	if p.cfg.DisableParking {
+		return false
+	}
+	step := fails - p.parkThreshold
+	if step < 0 {
+		return false
+	}
+	if step < backoffSteps {
+		start := time.Now()
+		time.Sleep(backoffBase << step)
+		w.backoffNanos.Add(int64(time.Since(start)))
+		return false
+	}
+	return w.park()
+}
+
+// park blocks the worker until new work is signalled or the run ends. It
+// publishes the parked flag before re-checking for work (the Dekker
+// protocol with signalWork) so a concurrent Spawn cannot be missed.
+func (w *Worker) park() bool {
+	p := w.pool
+	p.idle.Add(1)
+	w.parked.Store(true)
+	if p.stopped.Load() || w.anyVisibleWork() {
+		w.parked.Store(false)
+		p.idle.Add(-1)
+		return false
+	}
+	w.parks.Add(1)
+	select {
+	case <-w.parkCh:
+		w.wakes.Add(1)
+	case <-p.done: // run terminated: pending hit zero
+	case <-p.abort: // run aborted by a task panic
+	}
+	w.parked.Store(false)
+	p.idle.Add(-1)
+	return true
+}
+
+// signalWork wakes one parked worker, if any. The caller must already have
+// made the new work visible (pushed it onto a deque); see the Dekker
+// argument in the file comment. The token channel has capacity one, so a
+// signal to a worker with a pending token is absorbed rather than lost.
+func (p *Pool) signalWork() {
+	if p.idle.Load() == 0 {
+		return
+	}
+	for _, w := range p.workers {
+		if w.parked.Load() {
+			select {
+			case w.parkCh <- struct{}{}:
+			default:
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"worksteal/internal/deque"
+)
+
+// A panic-aborted run drops its un-run tasks; the next Run must drain
+// them, or they execute in (and decrement the pending counter of) the
+// wrong run. Workers=1 makes it deterministic: with no thief, every
+// spawned task is still in worker 0's deque when the root panics.
+func TestPoolReuseAfterPanicDropsStaleTasks(t *testing.T) {
+	p := New(Config{Workers: 1})
+	var stale atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		p.Run(func(w *Worker) {
+			for i := 0; i < 100; i++ {
+				w.Spawn(func(*Worker) { stale.Add(1) })
+			}
+			panic("abort mid-run")
+		})
+	}()
+	ranInAbortedRun := stale.Load()
+
+	var count atomic.Int64
+	for round := 0; round < 3; round++ {
+		p.Run(func(w *Worker) {
+			ParallelFor(w, 0, 50, 4, func(int) { count.Add(1) })
+		})
+	}
+	if count.Load() != 150 {
+		t.Fatalf("post-panic runs executed %d of 150 tasks", count.Load())
+	}
+	if got := stale.Load(); got != ranInAbortedRun {
+		t.Fatalf("%d stale tasks from the aborted run executed in later runs", got-ranInAbortedRun)
+	}
+	if s := p.Stats(); s.TasksDropped != 100 {
+		t.Fatalf("TasksDropped = %d, want 100", s.TasksDropped)
+	}
+}
+
+// rejectFirstPush wraps a deque and refuses exactly one PushBottom,
+// simulating a full deque at root-submission time.
+type rejectFirstPush struct {
+	deque.Dequer[Task]
+	rejected atomic.Bool
+}
+
+func (r *rejectFirstPush) PushBottom(t *Task) bool {
+	if r.rejected.CompareAndSwap(false, true) {
+		return false
+	}
+	return r.Dequer.PushBottom(t)
+}
+
+// Run used to ignore PushBottom's boolean for the root task; a refusal
+// left pending stuck at 1 and wg.Wait deadlocked. The handoff fallback
+// must run the root anyway.
+func TestRootPushRefusalFallsBackToHandoff(t *testing.T) {
+	p := New(Config{Workers: 2})
+	p.workers[0].dq = &rejectFirstPush{Dequer: p.workers[0].dq}
+	var count atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(func(w *Worker) {
+			ParallelFor(w, 0, 20, 2, func(int) { count.Add(1) })
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after a refused root push")
+	}
+	if count.Load() != 20 {
+		t.Fatalf("root ran %d of 20 iterations", count.Load())
+	}
+}
+
+// Stats must be callable while a run is in flight (the counters are
+// atomics); under -race this test fails if any counter is a plain int64.
+func TestStatsConcurrentWithRun(t *testing.T) {
+	p := New(Config{Workers: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := p.Stats()
+				if s.Steals > s.StealAttempts {
+					t.Error("steals exceed attempts in a mid-run snapshot")
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		p.Run(func(w *Worker) { _ = fibPar(w, 18, 5) })
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// While one worker runs a long serial task, the rest must park rather
+// than spin: a spinning worker makes millions of steal attempts per
+// second, a parked one makes roughly parkThreshold + backoffSteps.
+func TestParkedWorkersDoNotSpin(t *testing.T) {
+	p := New(Config{Workers: 4})
+	p.Run(func(w *Worker) { time.Sleep(50 * time.Millisecond) })
+	s := p.Stats()
+	if s.Parks == 0 {
+		t.Fatal("no worker parked during a 50ms idle window")
+	}
+	if s.StealAttempts > 100_000 {
+		t.Fatalf("%d steal attempts during an idle run: workers are spinning, not parking", s.StealAttempts)
+	}
+	if s.BackoffNanos == 0 {
+		t.Fatal("no backoff recorded before parking")
+	}
+}
+
+// Spawning after the other workers have parked must wake them and the
+// spawned work must still all run.
+func TestParkedWorkersWakeForNewWork(t *testing.T) {
+	p := New(Config{Workers: 4})
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		time.Sleep(50 * time.Millisecond) // every other worker parks
+		for i := 0; i < 100; i++ {
+			w.Spawn(func(*Worker) {
+				time.Sleep(time.Millisecond)
+				count.Add(1)
+			})
+		}
+	})
+	if count.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks spawned after workers parked", count.Load())
+	}
+	s := p.Stats()
+	if s.Parks == 0 {
+		t.Fatal("no worker parked before the spawn burst")
+	}
+	if s.Wakes == 0 {
+		t.Fatal("no parked worker was woken by Spawn")
+	}
+}
+
+// DisableParking preserves the paper's pure spinning loop for ablations.
+func TestDisableParkingNeverParks(t *testing.T) {
+	p := New(Config{Workers: 4, DisableParking: true})
+	p.Run(func(w *Worker) { time.Sleep(5 * time.Millisecond) })
+	if s := p.Stats(); s.Parks != 0 || s.BackoffNanos != 0 {
+		t.Fatalf("parks=%d backoff=%d with DisableParking", s.Parks, s.BackoffNanos)
+	}
+}
+
+// A joiner blocked on f.ch when another task panics must surface
+// poolAbortedError, and parked workers must wake on the abort so Run
+// returns. The channel handshake makes the schedule deterministic: the
+// forked task is guaranteed stolen, the joiner guaranteed blocked.
+func TestJoinAbortSurfacesWhileWorkersParked(t *testing.T) {
+	p := New(Config{Workers: 4})
+	var recovered any
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recovered = recover() }()
+		p.Run(func(w *Worker) {
+			release := make(chan struct{})
+			stolen := make(chan struct{})
+			f := Fork(w, func(*Worker) int {
+				close(stolen) // only a thief can reach here while root blocks below
+				<-release
+				panic("inner")
+			})
+			<-stolen
+			close(release)
+			_ = f.Join(w) // no visible work: blocks on f.ch until the abort
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after an abort with parked workers")
+	}
+	if recovered != "inner" {
+		t.Fatalf("recovered %v, want the inner panic value", recovered)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	p := New(Config{Workers: 2})
+	p.Run(func(w *Worker) { _ = fibPar(w, 15, 5) })
+	out := p.Stats().String()
+	for _, field := range []string{"tasks-run", "spawns", "steals", "parks", "wakes", "backoff", "tasks-dropped"} {
+		if !strings.Contains(out, field) {
+			t.Fatalf("Stats.String missing %q:\n%s", field, out)
+		}
+	}
+}
+
+func TestParkThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a negative park threshold")
+		}
+	}()
+	New(Config{Workers: 2, ParkThreshold: -1})
+}

@@ -3,7 +3,11 @@
 // (package deque). Each worker is one of the paper's "processes": it owns a
 // deque, pops work from the bottom, and when idle yields the processor and
 // steals from the top of a uniformly random victim's deque — exactly the
-// Figure 3 scheduling loop, with Go's runtime playing the kernel.
+// Figure 3 scheduling loop, with Go's runtime playing the kernel. Unlike
+// Figure 3, an idle worker does not spin forever: after repeated failed
+// steals it backs off and parks, and Spawn wakes it when stealable work
+// appears (see lifecycle.go for the protocol and why it preserves the
+// paper's yield semantics).
 //
 // Two APIs are provided:
 //
@@ -14,7 +18,8 @@
 //     check the paper's T1/P_A + Tinf*P/P_A bound on real hardware.
 //
 // For the paper's ablations, the pool can be configured with a mutex-guarded
-// deque instead of the non-blocking one, and with yields disabled.
+// deque instead of the non-blocking one, with yields disabled, and with
+// parking disabled (the pure spinning loop of Figure 3).
 package sched
 
 import (
@@ -58,6 +63,16 @@ type Config struct {
 	// multiprogramming (more workers than GOMAXPROCS) disabling yields lets
 	// spinning thieves starve workers that hold all the work.
 	DisableYield bool
+	// ParkThreshold is the number of consecutive failed steal attempts
+	// after which an idle worker starts backing off toward parking
+	// (lifecycle.go). 0 means the default, max(8, 2*Workers), enough hot
+	// rounds that a random thief has touched most victims before giving up.
+	ParkThreshold int
+	// DisableParking keeps idle workers in the paper's pure spinning loop —
+	// yield and steal forever — instead of backing off and parking. Only
+	// for experiments (the idle-overhead ablation): each idle spinning
+	// worker burns a full core.
+	DisableParking bool
 	// Seed seeds victim selection; 0 means a fixed default.
 	Seed int64
 	// Pin calls runtime.LockOSThread in each worker, approximating the
@@ -74,29 +89,26 @@ type Task struct {
 	fn func(*Worker)
 }
 
-// Stats aggregates per-run scheduler counters.
-type Stats struct {
-	TasksRun      int64
-	Spawns        int64
-	InlineRuns    int64 // spawns executed inline because a deque was full
-	Steals        int64
-	StealAttempts int64
-	Yields        int64
-}
-
 // Pool is a work-stealing scheduler instance. Create one with New, then use
 // Run (possibly several times in sequence). A Pool must not be used by two
 // Runs concurrently.
 type Pool struct {
-	cfg     Config
-	workers []*Worker
-	pending atomic.Int64
-	stopped atomic.Bool
-	wg      sync.WaitGroup
+	cfg           Config
+	parkThreshold int
+	workers       []*Worker
+	pending       atomic.Int64
+	stopped       atomic.Bool
+	idle          atomic.Int32 // workers currently parked (lifecycle.go)
+	dropped       atomic.Int64 // stale tasks drained between runs
+	wg            sync.WaitGroup
+
+	// done is closed by the worker whose task decrement drives pending to
+	// zero: the run is over, and the close wakes every parked worker.
+	done chan struct{}
 
 	// Panic plumbing: the first panicking task aborts the run; Run re-panics
 	// with its value after all workers exit. abort is closed to wake any
-	// Join parked on a future that will never complete.
+	// Join or parked worker that would otherwise wait forever.
 	panicOnce sync.Once
 	panicVal  any
 	abort     chan struct{}
@@ -105,18 +117,27 @@ type Pool struct {
 // Worker is the execution context passed to every task; it identifies the
 // worker goroutine running the task and provides the spawning operations.
 type Worker struct {
-	pool *Pool
-	id   int
-	dq   deque.Dequer[Task]
-	rng  *rand.Rand
-	rr   int // round-robin victim cursor
+	pool    *Pool
+	id      int
+	dq      deque.Dequer[Task]
+	rng     *rand.Rand
+	rr      int   // round-robin victim cursor
+	handoff *Task // root task fallback slot (submitRoot), consumed by loop
 
-	tasksRun      int64
-	spawns        int64
-	inlineRuns    int64
-	steals        int64
-	stealAttempts int64
-	yields        int64
+	parkCh chan struct{} // capacity-1 wake token (lifecycle.go)
+	parked atomic.Bool
+
+	// Per-worker counters, summed by Pool.Stats. Atomics so Stats is safe
+	// to call while the run is in flight.
+	tasksRun      atomic.Int64
+	spawns        atomic.Int64
+	inlineRuns    atomic.Int64
+	steals        atomic.Int64
+	stealAttempts atomic.Int64
+	yields        atomic.Int64
+	parks         atomic.Int64
+	wakes         atomic.Int64
+	backoffNanos  atomic.Int64
 }
 
 // New builds a pool. The zero Config is valid.
@@ -133,11 +154,17 @@ func New(cfg Config) *Pool {
 	if cfg.DequeCapacity < 1 {
 		panic(fmt.Sprintf("sched: deque capacity %d", cfg.DequeCapacity))
 	}
+	if cfg.ParkThreshold < 0 {
+		panic(fmt.Sprintf("sched: park threshold %d", cfg.ParkThreshold))
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x5EED
 	}
-	p := &Pool{cfg: cfg}
+	p := &Pool{cfg: cfg, parkThreshold: cfg.ParkThreshold}
+	if p.parkThreshold == 0 {
+		p.parkThreshold = max(8, 2*cfg.Workers)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		var dq deque.Dequer[Task]
 		switch cfg.Deque {
@@ -149,10 +176,11 @@ func New(cfg Config) *Pool {
 			dq = deque.NewWithCapacity[Task](cfg.DequeCapacity)
 		}
 		p.workers = append(p.workers, &Worker{
-			pool: p,
-			id:   i,
-			dq:   dq,
-			rng:  rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
+			pool:   p,
+			id:     i,
+			dq:     dq,
+			rng:    rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
+			parkCh: make(chan struct{}, 1),
 		})
 	}
 	return p
@@ -165,14 +193,17 @@ func (p *Pool) Workers() int { return p.cfg.Workers }
 // transitively spawned from it have completed.
 // If a task panics, the run aborts: remaining workers stop, and Run
 // re-panics with the original value (tasks already stolen may still finish;
-// tasks still in deques are dropped).
+// tasks still in deques are dropped — and drained before the next Run, so
+// they can never leak into it).
 func (p *Pool) Run(root func(*Worker)) {
 	p.stopped.Store(false)
 	p.panicOnce = sync.Once{}
 	p.panicVal = nil
 	p.abort = make(chan struct{})
+	p.done = make(chan struct{})
+	p.drainDeques()
 	p.pending.Store(1)
-	p.workers[0].dq.PushBottom(&Task{fn: root})
+	p.submitRoot(&Task{fn: root})
 	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
 		go w.loop()
@@ -180,6 +211,35 @@ func (p *Pool) Run(root func(*Worker)) {
 	p.wg.Wait()
 	if p.panicVal != nil {
 		panic(p.panicVal)
+	}
+}
+
+// drainDeques empties every worker deque of tasks left over from a
+// previous panic-aborted run, so a stale task can neither execute in the
+// next run nor decrement its pending counter out from under it. It also
+// clears stale wake tokens. Between runs no workers are live, so Run's
+// goroutine is a legitimate owner for the PopBottom calls.
+func (p *Pool) drainDeques() {
+	for _, w := range p.workers {
+		for w.dq.PopBottom() != nil {
+			p.dropped.Add(1)
+		}
+		select {
+		case <-w.parkCh:
+		default:
+		}
+	}
+}
+
+// submitRoot hands the root task to worker 0. After drainDeques the deque
+// is empty, so PushBottom cannot fail with the stock deques — but a
+// refusal must not be silently dropped (it would deadlock wg.Wait with
+// pending stuck at 1): fall back to the direct handoff slot, which worker
+// 0's loop consumes before its first pop. This is the same run-it-anyway
+// guarantee Spawn provides via inline execution.
+func (p *Pool) submitRoot(t *Task) {
+	if !p.workers[0].dq.PushBottom(t) {
+		p.workers[0].handoff = t
 	}
 }
 
@@ -192,42 +252,22 @@ func (p *Pool) recordPanic(v any) {
 	})
 }
 
-// Stats sums the per-worker counters accumulated so far (across runs).
+// Stats sums the per-worker counters accumulated so far (across runs). It
+// is safe to call concurrently with a running Run.
 func (p *Pool) Stats() Stats {
-	var s Stats
+	s := Stats{TasksDropped: p.dropped.Load()}
 	for _, w := range p.workers {
-		s.TasksRun += w.tasksRun
-		s.Spawns += w.spawns
-		s.InlineRuns += w.inlineRuns
-		s.Steals += w.steals
-		s.StealAttempts += w.stealAttempts
-		s.Yields += w.yields
+		s.TasksRun += w.tasksRun.Load()
+		s.Spawns += w.spawns.Load()
+		s.InlineRuns += w.inlineRuns.Load()
+		s.Steals += w.steals.Load()
+		s.StealAttempts += w.stealAttempts.Load()
+		s.Yields += w.yields.Load()
+		s.Parks += w.parks.Load()
+		s.Wakes += w.wakes.Load()
+		s.BackoffNanos += w.backoffNanos.Load()
 	}
 	return s
-}
-
-// loop is the Figure 3 scheduling loop: pop the bottom of the local deque;
-// when empty, yield and steal from the top of a random victim.
-func (w *Worker) loop() {
-	defer w.pool.wg.Done()
-	if w.pool.cfg.Pin {
-		runtime.LockOSThread()
-		defer runtime.UnlockOSThread()
-	}
-	for !w.pool.stopped.Load() {
-		t := w.dq.PopBottom()
-		if t == nil {
-			if !w.pool.cfg.DisableYield {
-				w.yields++
-				runtime.Gosched()
-			}
-			t = w.stealOnce()
-			if t == nil {
-				continue
-			}
-		}
-		w.exec(t)
-	}
 }
 
 // stealOnce performs one steal attempt against a victim chosen per the
@@ -247,24 +287,28 @@ func (w *Worker) stealOnce() *Task {
 	if v >= w.id {
 		v++
 	}
-	w.stealAttempts++
+	w.stealAttempts.Add(1)
 	t := w.pool.workers[v].dq.PopTop()
 	if t != nil {
-		w.steals++
+		w.steals.Add(1)
 	}
 	return t
 }
 
 // exec runs a task and performs termination accounting. A panicking task
-// aborts the whole run; the panic value surfaces from Pool.Run.
+// aborts the whole run; the panic value surfaces from Pool.Run. The worker
+// whose decrement drives pending to zero ends the run: it sets stopped
+// (the loop-exit condition) and closes done, which wakes every parked
+// worker for a clean shutdown.
 func (w *Worker) exec(t *Task) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.pool.recordPanic(r)
 		}
-		w.tasksRun++
+		w.tasksRun.Add(1)
 		if w.pool.pending.Add(-1) == 0 {
 			w.pool.stopped.Store(true)
+			close(w.pool.done)
 		}
 	}()
 	t.fn(w)
@@ -277,16 +321,19 @@ func (w *Worker) ID() int { return w.id }
 func (w *Worker) Pool() *Pool { return w.pool }
 
 // Spawn schedules fn to run asynchronously. It pushes the task onto the
-// bottom of the caller's deque, where it is available to thieves; if the
-// deque is full the task runs inline instead (correct, just not stealable).
+// bottom of the caller's deque, where it is available to thieves, and
+// wakes a parked worker if one exists; if the deque is full the task runs
+// inline instead (correct, just not stealable).
 func (w *Worker) Spawn(fn func(*Worker)) {
-	w.spawns++
+	w.spawns.Add(1)
 	w.pool.pending.Add(1)
 	t := &Task{fn: fn}
 	if !w.dq.PushBottom(t) {
-		w.inlineRuns++
+		w.inlineRuns.Add(1)
 		w.exec(t)
+		return
 	}
+	w.pool.signalWork()
 }
 
 // tryGetTask pops local work, or failing that makes one steal attempt.
@@ -300,7 +347,9 @@ func (w *Worker) tryGetTask() *Task {
 
 // anyVisibleWork reports whether any deque in the pool appears non-empty.
 // A false return together with an incomplete future means the future's task
-// is currently running on some worker, so blocking is safe.
+// is currently running on some worker, so blocking is safe. The parking
+// protocol relies on the same property: see park in lifecycle.go and the
+// memory-ordering note on deque.Dequer.Len.
 func (w *Worker) anyVisibleWork() bool {
 	for _, o := range w.pool.workers {
 		if o.dq.Len() > 0 {

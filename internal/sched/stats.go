@@ -1,0 +1,43 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats aggregates per-worker scheduler counters. All counters accumulate
+// across runs. The per-worker counters behind it are atomics, so
+// Pool.Stats is safe to call at any time, including concurrently with a
+// running Run (the snapshot is per-counter consistent, not a single
+// instant across counters).
+type Stats struct {
+	TasksRun      int64
+	Spawns        int64
+	InlineRuns    int64 // spawns executed inline because a deque was full
+	TasksDropped  int64 // stale tasks drained from deques after an aborted run
+	Steals        int64
+	StealAttempts int64
+	Yields        int64
+	Parks         int64 // times a worker blocked on its park channel
+	Wakes         int64 // parked workers woken by a new-work signal
+	BackoffNanos  int64 // total time idle workers spent in backoff sleeps
+}
+
+// String renders the counters as an aligned two-column table, one counter
+// per line (the table cmd/abpbench -stats prints).
+func (s Stats) String() string {
+	var b strings.Builder
+	row := func(name string, v any) { fmt.Fprintf(&b, "%-14s %14v\n", name, v) }
+	row("tasks-run", s.TasksRun)
+	row("spawns", s.Spawns)
+	row("inline-runs", s.InlineRuns)
+	row("tasks-dropped", s.TasksDropped)
+	row("steals", s.Steals)
+	row("steal-attempts", s.StealAttempts)
+	row("yields", s.Yields)
+	row("parks", s.Parks)
+	row("wakes", s.Wakes)
+	row("backoff", time.Duration(s.BackoffNanos).Round(time.Microsecond))
+	return b.String()
+}
