@@ -1,0 +1,93 @@
+// Command abpvet runs the repository's custom concurrency-contract
+// analyzers (package internal/lint) over Go packages, in the manner of a
+// golang.org/x/tools/go/analysis multichecker but with zero dependencies
+// outside the standard library.
+//
+// Usage:
+//
+//	go run ./cmd/abpvet [-only atomicmix,casloop] [packages]
+//
+// Packages default to ./... . Test files and testdata directories are not
+// analyzed (the analyzers guard production invariants; tests intentionally
+// abuse them). Exit status is 1 if any diagnostic is reported, 2 on
+// operational failure. Findings can be suppressed case by case with a
+// justified //abp:ignore comment; see package internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"worksteal/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: abpvet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "abpvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.NewLoader().Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abpvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if pkg.Standard {
+			continue
+		}
+		for _, a := range analyzers {
+			diags, err := lint.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "abpvet: %s: %v\n", pkg.ImportPath, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "abpvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

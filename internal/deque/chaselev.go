@@ -55,6 +55,8 @@ func NewChaseLev[T any]() *ChaseLev[T] {
 var _ Dequer[int] = (*ChaseLev[int])(nil)
 
 // Len estimates the number of items (exact for the owner when quiescent).
+//
+//abp:nonblocking
 func (d *ChaseLev[T]) Len() int {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -66,7 +68,9 @@ func (d *ChaseLev[T]) Len() int {
 
 // PushBottom appends node at the bottom, growing the buffer if needed. It
 // always succeeds (the deque is unbounded) and returns true, satisfying the
-// Dequer interface.
+// Dequer interface. Growing allocates, but never waits on another process.
+//
+//abp:nonblocking
 func (d *ChaseLev[T]) PushBottom(node *T) bool {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -81,6 +85,8 @@ func (d *ChaseLev[T]) PushBottom(node *T) bool {
 }
 
 // PopBottom removes and returns the bottommost item, or nil when empty.
+//
+//abp:nonblocking
 func (d *ChaseLev[T]) PopBottom() *T {
 	b := d.bottom.Load() - 1
 	a := d.array.Load()
@@ -105,6 +111,8 @@ func (d *ChaseLev[T]) PopBottom() *T {
 
 // PopTop steals the topmost item. Like the ABP popTop it may return nil
 // under contention (relaxed semantics).
+//
+//abp:nonblocking
 func (d *ChaseLev[T]) PopTop() *T {
 	t := d.top.Load()
 	b := d.bottom.Load()

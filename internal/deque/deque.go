@@ -81,6 +81,8 @@ func (d *Deque[T]) Cap() int { return len(d.deq) }
 // deque, while a producer pushes and then reads the parked flags —
 // whichever interleaving occurs, a freshly pushed task is either seen by
 // the parker's Len scan or earns it a wake signal.
+//
+//abp:nonblocking
 func (d *Deque[T]) Len() int {
 	bot := d.bot.Load()
 	_, top := unpackAge(d.age.Load())
@@ -91,6 +93,8 @@ func (d *Deque[T]) Len() int {
 }
 
 // Empty reports whether the deque appears empty (same caveats as Len).
+//
+//abp:nonblocking
 func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
 
 // PushBottom pushes node onto the bottom of the deque (Figure 5,
@@ -98,6 +102,8 @@ func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
 // caller should execute the work inline instead; this graceful degradation
 // preserves depth-first semantics in the scheduler. Only the owner may call
 // PushBottom.
+//
+//abp:nonblocking
 func (d *Deque[T]) PushBottom(node *T) bool {
 	localBot := d.bot.Load() // load localBot <- bot
 	if localBot >= uint32(len(d.deq)) {
@@ -113,6 +119,8 @@ func (d *Deque[T]) PushBottom(node *T) bool {
 // nil if the deque is empty or if it loses a race with another process
 // removing the topmost item (the relaxed semantics). Any process may call
 // PopTop.
+//
+//abp:nonblocking
 func (d *Deque[T]) PopTop() *T {
 	oldAge := d.age.Load()   // load oldAge <- age
 	localBot := d.bot.Load() // load localBot <- bot
@@ -130,6 +138,8 @@ func (d *Deque[T]) PopTop() *T {
 
 // PopBottom pops the bottommost item (Figure 5, popBottom). It returns nil
 // when the deque is empty. Only the owner may call PopBottom.
+//
+//abp:nonblocking
 func (d *Deque[T]) PopBottom() *T {
 	localBot := d.bot.Load() // load localBot <- bot
 	if localBot == 0 {
@@ -163,6 +173,8 @@ func (d *Deque[T]) PopBottom() *T {
 // Reset empties the deque. It must only be called when no other process can
 // access the deque (for example between runs in a pool). The tag is
 // preserved and bumped so that any stale reference still fails its CAS.
+//
+//abp:nonblocking
 func (d *Deque[T]) Reset() {
 	tag, _ := unpackAge(d.age.Load())
 	d.bot.Store(0)

@@ -39,9 +39,9 @@ func (h histOp) String() string {
 }
 
 // recordHistory runs a small random concurrent burst against a fresh deque
-// and returns the recorded operations.
-func recordHistory(rng *rand.Rand, ownerOps, thiefCount, thiefOps int) []histOp {
-	d := NewWithCapacity[int](64)
+// built by mk and returns the recorded operations.
+func recordHistory(rng *rand.Rand, mk func() Dequer[int], ownerOps, thiefCount, thiefOps int) []histOp {
+	d := mk()
 	var clock atomic.Int64
 	var mu sync.Mutex
 	var history []histOp
@@ -231,11 +231,15 @@ func stateKey(used []bool, state []int) string {
 	return fmt.Sprintf("%v|%v", used, state)
 }
 
-func TestLinearizabilityRandomHistories(t *testing.T) {
+// testRandomHistories drives the checker over many small live histories of
+// one deque implementation. Both the ABP deque and Chase-Lev promise the
+// same relaxed semantics (Chase-Lev needs no tag because top never
+// rewinds), so both must pass the identical oracle.
+func testRandomHistories(t *testing.T, mk func() Dequer[int]) {
 	rng := rand.New(rand.NewSource(2024))
 	histories := 0
 	for trial := 0; trial < 300; trial++ {
-		h := recordHistory(rng, 4+rng.Intn(3), 1+rng.Intn(2), 1+rng.Intn(3))
+		h := recordHistory(rng, mk, 4+rng.Intn(3), 1+rng.Intn(2), 1+rng.Intn(3))
 		if len(h) > 12 {
 			continue
 		}
@@ -247,6 +251,18 @@ func TestLinearizabilityRandomHistories(t *testing.T) {
 	if histories < 100 {
 		t.Fatalf("only %d histories checked", histories)
 	}
+}
+
+func TestLinearizabilityRandomHistories(t *testing.T) {
+	testRandomHistories(t, func() Dequer[int] { return NewWithCapacity[int](64) })
+}
+
+func TestLinearizabilityRandomHistoriesChaseLev(t *testing.T) {
+	testRandomHistories(t, func() Dequer[int] { return NewChaseLev[int]() })
+}
+
+func TestLinearizabilityRandomHistoriesMutex(t *testing.T) {
+	testRandomHistories(t, func() Dequer[int] { return NewMutexWithCapacity[int](64) })
 }
 
 // The checker itself must reject genuinely broken histories.

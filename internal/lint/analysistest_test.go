@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runAnalyzerTest loads the fixture package testdata/src/<fixture>, runs
+// one analyzer over it, and checks the findings against the fixture's
+// expectation comments, in the manner of x/tools' analysistest:
+//
+//	d.PopBottom() // want `outside an owner context`
+//
+// Each backquoted or double-quoted string after "// want" is a regexp that
+// must match the message of a distinct diagnostic reported on that line;
+// diagnostics not matched by any want, and wants not matched by any
+// diagnostic, fail the test. Lines with no want comment assert the absence
+// of findings, so every fixture doubles as accepted-case coverage.
+func runAnalyzerTest(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkgs, err := NewLoader().Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[key][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, q := range wantPatternRE.FindAllString(text, -1) {
+					pat := q
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else if unq, err := strconv.Unquote(q); err == nil {
+						pat = unq
+					} else {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+				if len(wants[k]) == 0 {
+					t.Fatalf("%s: want comment with no pattern: %s", pos, c.Text)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[key{pos.Filename, pos.Line}] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no %s diagnostic matching %q", k.file, k.line, a.Name, w.re)
+			}
+		}
+	}
+}
+
+// wantPatternRE matches one backquoted or double-quoted want pattern.
+var wantPatternRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)

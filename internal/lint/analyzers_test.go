@@ -1,0 +1,28 @@
+package lint
+
+import "testing"
+
+func TestAtomicMix(t *testing.T)   { runAnalyzerTest(t, AtomicMix, "atomicmix") }
+func TestOwnerOnly(t *testing.T)   { runAnalyzerTest(t, OwnerOnly, "owneronly") }
+func TestNonBlocking(t *testing.T) { runAnalyzerTest(t, NonBlocking, "nonblocking") }
+func TestCASLoop(t *testing.T)     { runAnalyzerTest(t, CASLoop, "casloop") }
+
+// TestSuiteCleanOnOwnPackage dogfoods the loader and the full suite on the
+// lint package itself: zero findings expected.
+func TestSuiteCleanOnOwnPackage(t *testing.T) {
+	pkgs, err := NewLoader().Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			diags, err := Run(a, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, pkg.Fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package lint implements abpvet, a static-analysis suite that mechanically
+// enforces the concurrency contracts this repository's correctness rests on:
+// the deque's "good set of invocations" (owner-only PushBottom/PopBottom,
+// paper Section 3.2), the non-blocking property of the Figure 5 operations,
+// the all-atomic access discipline the parking handshake's Dekker argument
+// needs, and the reload-inside-the-loop discipline that keeps CAS retry
+// loops ABA-safe. DESIGN.md section 8 maps each analyzer to the paper claim
+// it guards.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built purely on the standard library
+// (go/ast, go/types, `go list`), so the module stays dependency-free and the
+// vet suite runs offline. Should x/tools ever become a dependency, each
+// Analyzer.Run ports mechanically.
+//
+// Two comment directives put code in scope:
+//
+//	//abp:owner        the function is an audited deque-owner context; the
+//	                   owner-only operations may be called from it and from
+//	                   any function it (transitively, statically) calls.
+//	//abp:nonblocking  the function must not perform blocking operations.
+//
+// And one takes findings out of scope:
+//
+//	//abp:ignore <analyzer> <justification>
+//
+// placed on (or on the line directly above) the flagged line. The
+// justification text is mandatory: a bare ignore does not suppress.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one abpvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //abp:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description shown by `abpvet -help`.
+	Doc string
+	// Run performs the check on one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the abpvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicMix, OwnerOnly, NonBlocking, CASLoop}
+}
+
+// Run applies one analyzer to a loaded package and returns its findings,
+// with //abp:ignore-suppressed diagnostics removed and the rest sorted by
+// position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	ignores := collectIgnores(pkg)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if ignores[ignoreKey{pos.Filename, pos.Line, a.Name}] ||
+			ignores[ignoreKey{pos.Filename, pos.Line - 1, a.Name}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores indexes every justified //abp:ignore directive by the file
+// and line it appears on.
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	out := map[ignoreKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//abp:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no justification: directive is inert
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether doc contains the exact comment directive
+// (for example "//abp:owner"), alone or followed by explanatory text.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil for
+// calls through function values, built-ins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isAtomicFunc reports whether fn is a package-level function of
+// sync/atomic (LoadInt64, CompareAndSwapUint32, ...).
+func isAtomicFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicMethod reports whether fn is a method of one of sync/atomic's
+// wrapper types (atomic.Int64, atomic.Pointer, ...).
+func isAtomicMethod(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// declsOf returns every top-level function declaration in the package;
+// analyzers attribute call sites inside closures to the FuncDecl that
+// lexically contains them.
+func declsOf(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// funcName renders a FuncDecl's name with its receiver type, matching how
+// diagnostics refer to methods.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	writeRecvType(&b, fd.Recv.List[0].Type)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+func writeRecvType(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeRecvType(b, t.X)
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	case *ast.IndexExpr: // generic receiver Deque[T]
+		writeRecvType(b, t.X)
+	case *ast.IndexListExpr:
+		writeRecvType(b, t.X)
+	default:
+		fmt.Fprintf(b, "%T", e)
+	}
+}

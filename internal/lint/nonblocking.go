@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NonBlocking machine-checks the paper's central implementation claim: the
+// Figure 5 deque operations (and the scheduler's inner steal path) never
+// block, so a process stalled mid-operation cannot prevent any other
+// process from completing its own (the non-blocking property of Section
+// 3.2, and the premise behind synchronization-overhead bounds à la Rito &
+// Paulino). Functions carrying the //abp:nonblocking directive must not
+// contain, directly or in lexically nested closures:
+//
+//   - sync mutex/waitgroup/cond operations (Lock, RLock, Unlock, RUnlock,
+//     Wait) — even Unlock, because a non-blocking operation has no business
+//     touching a lock at all;
+//   - channel sends, receives, or range-over-channel;
+//   - select statements without a default case (a select WITH default never
+//     blocks, and its immediate communication clauses are exempt — this is
+//     the idiomatic non-blocking try-send used by the wake protocol);
+//   - time.Sleep.
+//
+// The check is not transitive: a call to an unannotated helper is not
+// inspected. Annotate the helper too — the directive doubles as the audit
+// trail for which functions the claim covers.
+var NonBlocking = &Analyzer{
+	Name: "nonblocking",
+	Doc:  "forbids blocking operations (mutexes, channel ops, bare select, time.Sleep) inside //abp:nonblocking functions",
+	Run:  runNonBlocking,
+}
+
+var blockingSyncMethods = map[string]bool{
+	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true, "Wait": true,
+}
+
+func runNonBlocking(pass *Pass) error {
+	for _, fd := range declsOf(pass.Files) {
+		if fd.Body == nil || !hasDirective(fd.Doc, "//abp:nonblocking") {
+			continue
+		}
+		name := funcName(fd)
+		var check func(n ast.Node) bool
+		check = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in //abp:nonblocking function %s", name)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in //abp:nonblocking function %s", name)
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel in //abp:nonblocking function %s", name)
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, clause := range n.Body.List {
+					if clause.(*ast.CommClause).Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					pass.Reportf(n.Pos(), "select without default in //abp:nonblocking function %s", name)
+				}
+				// The communication clauses of a select with default cannot
+				// block (and a select without one was flagged wholesale);
+				// clause bodies are checked either way.
+				for _, clause := range n.Body.List {
+					for _, stmt := range clause.(*ast.CommClause).Body {
+						ast.Inspect(stmt, check)
+					}
+				}
+				return false // clauses handled above
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig := fn.Type().(*types.Signature)
+				switch {
+				case fn.Pkg().Path() == "time" && sig.Recv() == nil && fn.Name() == "Sleep":
+					pass.Reportf(n.Pos(), "time.Sleep in //abp:nonblocking function %s", name)
+				case fn.Pkg().Path() == "sync" && sig.Recv() != nil && blockingSyncMethods[fn.Name()]:
+					pass.Reportf(n.Pos(), "sync.%s in //abp:nonblocking function %s", fn.Name(), name)
+				}
+			}
+			return true
+		}
+		ast.Inspect(fd.Body, check)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OwnerOnly enforces the deque ownership contract of paper Section 3.2: a
+// "good set of invocations" has PushBottom and PopBottom called only by the
+// deque's single owner. Ownership is not a property go/types can see, so it
+// is declared: a function carrying the //abp:owner directive is an audited
+// owner context (the worker loop that owns its deque, or a quiescent phase
+// such as the between-runs drain). The analyzer builds the package's static
+// call graph and flags every reference to a PushBottom or PopBottom method
+// — call or method value — whose lexically enclosing top-level function is
+// neither annotated nor statically reachable from an annotated function.
+//
+// The check is per-package and static: dynamic dispatch through function
+// values and cross-package calls do not extend the reachable set, so a
+// helper invoked only via a task closure needs its own //abp:owner
+// annotation (with a comment arguing why it runs on the owner goroutine).
+// That is deliberate — every new owner context should be written down and
+// reviewed, exactly as TR-99-11 reviews the good-set assumption.
+var OwnerOnly = &Analyzer{
+	Name: "owneronly",
+	Doc:  "requires PushBottom/PopBottom references to be reachable from an //abp:owner-annotated function",
+	Run:  runOwnerOnly,
+}
+
+func runOwnerOnly(pass *Pass) error {
+	decls := declsOf(pass.Files)
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			declOf[fn] = fd
+		}
+	}
+
+	// Static same-package call graph over top-level declarations, closures
+	// attributed to the declaration containing them.
+	calls := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if target, ok := declOf[callee]; ok {
+					calls[fd] = append(calls[fd], target)
+				}
+			}
+			return true
+		})
+	}
+
+	owned := map[*ast.FuncDecl]bool{}
+	var frontier []*ast.FuncDecl
+	for _, fd := range decls {
+		if hasDirective(fd.Doc, "//abp:owner") {
+			owned[fd] = true
+			frontier = append(frontier, fd)
+		}
+	}
+	for len(frontier) > 0 {
+		fd := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, callee := range calls[fd] {
+			if !owned[callee] {
+				owned[callee] = true
+				frontier = append(frontier, callee)
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		if owned[fd] || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "PushBottom" && sel.Sel.Name != "PopBottom" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s called outside an owner context: %s is not reachable from any //abp:owner function (single-owner contract, paper §3.2)",
+				sel.Sel.Name, funcName(fd))
+			return true
+		})
+	}
+	return nil
+}

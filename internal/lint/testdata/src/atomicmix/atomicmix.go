@@ -1,0 +1,35 @@
+// Package atomicmix is the analysistest fixture for the atomicmix
+// analyzer: raw fields used with function-style atomics are flagged, mixed
+// atomic/plain access is flagged, and wrapper types plus purely plain
+// fields are accepted.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // raw int manipulated with function-style atomics
+	mixed int64 // atomics in flagged(), plain access too
+	flag  int32
+	ok    atomic.Int64 // wrapper type: the standard the analyzer steers to
+	plain int64        // never touched atomically
+}
+
+func flagged(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)     // want `field hits is manipulated with atomic.AddInt64`
+	atomic.StoreInt32(&c.flag, 1)   // want `field flag is manipulated with atomic.StoreInt32`
+	n := atomic.LoadInt64(&c.mixed) // want `field mixed is manipulated with atomic.LoadInt64`
+	c.mixed = n + 1                 // want `plain access to field mixed`
+	return n
+}
+
+func accepted(c *counters) int64 {
+	c.ok.Add(1) // wrapper type: atomic by construction, never flagged
+	c.plain++   // plain field accessed only plainly: fine
+	if c.plain > 3 {
+		c.plain = 0
+	}
+	return c.ok.Load()
+}
+
+var _ = flagged
+var _ = accepted

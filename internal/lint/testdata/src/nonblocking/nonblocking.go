@@ -1,0 +1,60 @@
+// Package nonblocking is the analysistest fixture for the nonblocking
+// analyzer: annotated functions must not block; the non-blocking
+// select-with-default idiom and unannotated functions are accepted.
+package nonblocking
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// trySignal is the idiomatic non-blocking wake-up: accepted in full.
+//
+//abp:nonblocking
+func trySignal(ch chan struct{}, n *atomic.Int64) {
+	n.Add(1)
+	select {
+	case ch <- struct{}{}: // accepted: a select with default cannot block
+	default:
+	}
+}
+
+// blocker violates every rule the analyzer knows.
+//
+//abp:nonblocking
+func blocker(mu *sync.Mutex, wg *sync.WaitGroup, ch chan int) int {
+	mu.Lock()                    // want `sync.Lock in //abp:nonblocking function blocker`
+	defer mu.Unlock()            // want `sync.Unlock in //abp:nonblocking function blocker`
+	wg.Wait()                    // want `sync.Wait in //abp:nonblocking function blocker`
+	time.Sleep(time.Millisecond) // want `time.Sleep in //abp:nonblocking function blocker`
+	ch <- 1                      // want `channel send in //abp:nonblocking function blocker`
+	v := <-ch                    // want `channel receive in //abp:nonblocking function blocker`
+	select {                     // want `select without default in //abp:nonblocking function blocker`
+	case v = <-ch:
+	}
+	for range ch { // want `range over channel in //abp:nonblocking function blocker`
+	}
+	return v
+}
+
+// closures count: the operation is lexically inside the annotated function.
+//
+//abp:nonblocking
+func viaClosure(ch chan int) func() {
+	return func() {
+		ch <- 1 // want `channel send in //abp:nonblocking function viaClosure`
+	}
+}
+
+// unannotated functions may block freely.
+func unannotated(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	<-ch
+}
+
+var _ = trySignal
+var _ = blocker
+var _ = viaClosure
+var _ = unannotated

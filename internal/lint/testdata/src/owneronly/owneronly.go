@@ -1,0 +1,44 @@
+// Package owneronly is the analysistest fixture for the owneronly
+// analyzer: PushBottom/PopBottom references must sit in a function that is
+// annotated //abp:owner or statically reachable from one.
+package owneronly
+
+type deque struct{ items []*int }
+
+func (d *deque) PushBottom(v *int) bool {
+	d.items = append(d.items, v)
+	return true
+}
+
+func (d *deque) PopBottom() *int {
+	if len(d.items) == 0 {
+		return nil
+	}
+	v := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return v
+}
+
+// run is the worker loop: it owns d for the lifetime of the run.
+//
+//abp:owner
+func run(d *deque) {
+	for d.PopBottom() != nil { // accepted: annotated owner root
+	}
+	helper(d)
+}
+
+// helper inherits the owner context: it is statically reachable from run.
+func helper(d *deque) {
+	d.PushBottom(new(int)) // accepted: reachable from an //abp:owner root
+}
+
+// rogue is reachable from no owner root; both references are violations.
+func rogue(d *deque) {
+	d.PushBottom(new(int)) // want `PushBottom called outside an owner context`
+	pop := d.PopBottom     // want `PopBottom called outside an owner context`
+	pop()
+}
+
+var _ = run
+var _ = rogue

@@ -135,6 +135,8 @@ func RunGraph(cfg GraphConfig) GraphResult {
 
 // worker runs the Figure 3 loop: execute the assigned node, then pop, push
 // or steal according to how many children the execution enabled.
+//
+//abp:owner the worker goroutine is deques[id]'s single owner for the run
 func (r *graphRun) worker(id int, seed int64, wg *sync.WaitGroup) {
 	defer wg.Done()
 	if r.cfg.Pin {

@@ -49,6 +49,8 @@ const (
 // loop is the Figure 3 scheduling loop — pop the bottom of the local
 // deque; when empty, yield and steal from the top of a random victim —
 // wrapped in the backoff/parking lifecycle described above.
+//
+//abp:owner the worker goroutine is its deque's single owner for the run
 func (w *Worker) loop() {
 	defer w.pool.wg.Done()
 	if w.pool.cfg.Pin {
@@ -129,7 +131,10 @@ func (w *Worker) park() bool {
 // signalWork wakes one parked worker, if any. The caller must already have
 // made the new work visible (pushed it onto a deque); see the Dekker
 // argument in the file comment. The token channel has capacity one, so a
-// signal to a worker with a pending token is absorbed rather than lost.
+// signal to a worker with a pending token is absorbed rather than lost:
+// the send sits in a select with default and can never block the spawner.
+//
+//abp:nonblocking
 func (p *Pool) signalWork() {
 	if p.idle.Load() == 0 {
 		return

@@ -219,6 +219,8 @@ func (p *Pool) Run(root func(*Worker)) {
 // next run nor decrement its pending counter out from under it. It also
 // clears stale wake tokens. Between runs no workers are live, so Run's
 // goroutine is a legitimate owner for the PopBottom calls.
+//
+//abp:owner quiescent phase: no workers are running between runs
 func (p *Pool) drainDeques() {
 	for _, w := range p.workers {
 		for w.dq.PopBottom() != nil {
@@ -237,6 +239,8 @@ func (p *Pool) drainDeques() {
 // pending stuck at 1): fall back to the direct handoff slot, which worker
 // 0's loop consumes before its first pop. This is the same run-it-anyway
 // guarantee Spawn provides via inline execution.
+//
+//abp:owner quiescent phase: workers have not been started yet
 func (p *Pool) submitRoot(t *Task) {
 	if !p.workers[0].dq.PushBottom(t) {
 		p.workers[0].handoff = t
@@ -272,6 +276,8 @@ func (p *Pool) Stats() Stats {
 
 // stealOnce performs one steal attempt against a victim chosen per the
 // configured policy (uniformly random by default, Figure 3 line 16).
+//
+//abp:nonblocking
 func (w *Worker) stealOnce() *Task {
 	n := len(w.pool.workers)
 	if n == 1 {
@@ -324,6 +330,8 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // bottom of the caller's deque, where it is available to thieves, and
 // wakes a parked worker if one exists; if the deque is full the task runs
 // inline instead (correct, just not stealable).
+//
+//abp:owner tasks execute only on worker goroutines, so the receiver owns w.dq
 func (w *Worker) Spawn(fn func(*Worker)) {
 	w.spawns.Add(1)
 	w.pool.pending.Add(1)
@@ -338,6 +346,8 @@ func (w *Worker) Spawn(fn func(*Worker)) {
 
 // tryGetTask pops local work, or failing that makes one steal attempt.
 // Used by Future.Join to make progress while waiting.
+//
+//abp:owner tasks execute only on worker goroutines, so the receiver owns w.dq
 func (w *Worker) tryGetTask() *Task {
 	if t := w.dq.PopBottom(); t != nil {
 		return t
