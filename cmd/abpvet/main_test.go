@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"worksteal/internal/lint"
+)
+
+// seededDir is the lint fixture that reintroduces the PR-1 discarded
+// PushBottom; the full suite reports exactly one mustcheck finding there.
+const seededDir = "../../internal/lint/testdata/src/seeded"
+
+// runCLI invokes the command in process and returns its exit status and
+// captured streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	// The command's own package carries no contract violations.
+	code, stdout, stderr := runCLI(t, ".")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestExitFindingsIsOne(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", seededDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "PushBottom is discarded") {
+		t.Errorf("finding line missing from stdout: %q", stdout)
+	}
+	if !strings.Contains(stdout, "(mustcheck)") {
+		t.Errorf("finding line does not name its analyzer: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr)
+	}
+}
+
+func TestExitOperationalErrorIsTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown analyzer", []string{"-only", "nosuch", "."}, "unknown analyzer"},
+		{"unused-ignores with -only", []string{"-only", "mustcheck", "-unused-ignores", "."}, "cannot be combined with -only"},
+		{"bad flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"load failure", []string{"./no/such/dir"}, "abpvet:"},
+		{"missing baseline", []string{"-baseline", filepath.Join(t.TempDir(), "absent.json"), "."}, "abpvet:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not contain %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-C", seededDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "mustcheck" || f.File != "seeded.go" {
+		t.Errorf("unexpected finding %+v", f)
+	}
+}
+
+func TestSARIFToFileAndStdout(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abpvet.sarif")
+	code, stdout, _ := runCLI(t, "-sarif", path, "-C", seededDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	// Text findings still go to stdout when SARIF targets a file.
+	if !strings.Contains(stdout, "(mustcheck)") {
+		t.Errorf("text findings suppressed despite -sarif targeting a file: %q", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Errorf("unexpected SARIF shape: %s", data)
+	}
+	if log.Runs[0].Results[0].RuleID != "mustcheck" {
+		t.Errorf("ruleId = %q, want mustcheck", log.Runs[0].Results[0].RuleID)
+	}
+
+	// With -sarif -, the log goes to stdout and replaces the text lines.
+	code, stdout, _ = runCLI(t, "-sarif", "-", "-C", seededDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif - stdout is not pure SARIF: %v\n%s", err, stdout)
+	}
+}
+
+func TestBaselineSuppressesKnownFindings(t *testing.T) {
+	// First run records the findings; the second, given that record as a
+	// baseline, exits clean.
+	_, stdout, _ := runCLI(t, "-json", "-C", seededDir, ".")
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCLI(t, "-baseline", path, "-C", seededDir, ".")
+	if code != 0 {
+		t.Fatalf("baselined run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if out != "" {
+		t.Errorf("baselined run still printed findings: %q", out)
+	}
+}
+
+func TestUnusedIgnoresFlagsStaleDirective(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-unused-ignores", "-C", "testdata/unusedignore", ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s", code, stdout)
+	}
+	if !strings.Contains(stdout, "suppresses nothing") || !strings.Contains(stdout, "(unused-ignore)") {
+		t.Errorf("stale directive not reported: %q", stdout)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}

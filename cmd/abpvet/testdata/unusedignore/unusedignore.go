@@ -1,0 +1,8 @@
+// Package unusedignore is a CLI test fixture: its single //abp:ignore
+// directive suppresses nothing, so abpvet -unused-ignores must flag it.
+package unusedignore
+
+//abp:ignore mustcheck nothing here ever produced a finding
+var x = 1
+
+var _ = x

@@ -201,6 +201,9 @@ func (s *satSolver) dpll(w *sched.Worker, st *satState, depth int) {
 		for i, a := range st.assign {
 			model[i] = a == 1
 		}
+		// First-writer-wins: a lost CAS means another worker already
+		// published a model, which is just as good an answer.
+		//abp:ignore mustcheck first-writer-wins race; any published model suffices
 		s.found.CompareAndSwap(nil, &model)
 		return
 	}

@@ -6,6 +6,35 @@ func TestAtomicMix(t *testing.T)   { runAnalyzerTest(t, AtomicMix, "atomicmix") 
 func TestOwnerOnly(t *testing.T)   { runAnalyzerTest(t, OwnerOnly, "owneronly") }
 func TestNonBlocking(t *testing.T) { runAnalyzerTest(t, NonBlocking, "nonblocking") }
 func TestCASLoop(t *testing.T)     { runAnalyzerTest(t, CASLoop, "casloop") }
+func TestOwnerEscape(t *testing.T) { runAnalyzerTest(t, OwnerEscape, "ownerescape") }
+func TestHandshake(t *testing.T)   { runAnalyzerTest(t, Handshake, "handshake") }
+func TestMustCheck(t *testing.T)   { runAnalyzerTest(t, MustCheck, "mustcheck") }
+func TestTagABA(t *testing.T)      { runAnalyzerTest(t, TagABA, "tagaba") }
+
+// TestSeededPR1Bug replays, in miniature, the discarded-PushBottom bug that
+// PR 1 fixed in sched.(*Pool).submitRoot and asserts that mustcheck now
+// catches that bug class mechanically. The // want assertions run through
+// the standard harness; the explicit check below additionally guarantees
+// the fixture never degrades into an empty (vacuously passing) one.
+func TestSeededPR1Bug(t *testing.T) {
+	runAnalyzerTest(t, MustCheck, "seeded")
+
+	pkgs, err := NewLoader().Load("testdata/src/seeded", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(MustCheck, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(diags)
+	}
+	if total == 0 {
+		t.Fatal("mustcheck reported nothing on the seeded PR-1 bug: the submitRoot deadlock class would ship again")
+	}
+}
 
 // TestSuiteCleanOnOwnPackage dogfoods the loader and the full suite on the
 // lint package itself: zero findings expected.

@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkFunc parses and type-checks src (a complete import-free file) and
+// returns the named function plus the machinery the flow engine needs.
+func checkFunc(t *testing.T, src, name string) (*types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow_fixture.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return info, fd
+		}
+	}
+	t.Fatalf("function %s not found in fixture", name)
+	return nil, nil
+}
+
+// nthAssign returns the i-th assignment statement of fd in source order.
+func nthAssign(t *testing.T, fd *ast.FuncDecl, i int) *ast.AssignStmt {
+	t.Helper()
+	var all []*ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			all = append(all, a)
+		}
+		return true
+	})
+	if i >= len(all) {
+		t.Fatalf("fixture has %d assignments, need index %d", len(all), i)
+	}
+	return all[i]
+}
+
+func firstReturn(t *testing.T, fd *ast.FuncDecl) *ast.ReturnStmt {
+	t.Helper()
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil {
+			ret = r
+		}
+		return true
+	})
+	if ret == nil {
+		t.Fatal("fixture has no return statement")
+	}
+	return ret
+}
+
+// lookupVar resolves a local variable of fd by name via Defs.
+func lookupVar(t *testing.T, info *types.Info, fd *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	var v *types.Var
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if obj, ok := info.Defs[id].(*types.Var); ok && v == nil {
+				v = obj
+			}
+		}
+		return true
+	})
+	if v == nil {
+		t.Fatalf("variable %s not found in %s", name, fd.Name.Name)
+	}
+	return v
+}
+
+func TestCFGDominance(t *testing.T) {
+	const src = `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	x = 3
+	return x
+}`
+	_, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+
+	init := nthAssign(t, fd, 0)   // x := 1
+	branch := nthAssign(t, fd, 1) // x = 2 (then-branch)
+	join := nthAssign(t, fd, 2)   // x = 3 (after the if)
+	ret := firstReturn(t, fd)
+
+	if !cfg.dominates(init, branch) {
+		t.Error("x := 1 should dominate the then-branch assignment")
+	}
+	if !cfg.dominates(init, join) || !cfg.dominates(init, ret) {
+		t.Error("x := 1 should dominate everything after it")
+	}
+	if cfg.dominates(branch, join) {
+		t.Error("the then-branch assignment must not dominate the join: the else path skips it")
+	}
+	if cfg.dominates(join, init) {
+		t.Error("dominance must respect source order within reachable flow")
+	}
+	if cfg.dominates(join, join) {
+		t.Error("same-block dominance is strict: a node does not dominate itself")
+	}
+}
+
+func TestCFGDominanceAcrossLoop(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}`
+	_, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+
+	init := nthAssign(t, fd, 0) // s := 0
+	body := nthAssign(t, fd, 2) // s = s + i
+	ret := firstReturn(t, fd)
+
+	if !cfg.dominates(init, body) || !cfg.dominates(init, ret) {
+		t.Error("the pre-loop definition should dominate the body and the exit")
+	}
+	if cfg.dominates(body, ret) {
+		t.Error("the loop body must not dominate the exit: zero-iteration loops skip it")
+	}
+}
+
+func TestBlockNodeAt(t *testing.T) {
+	const src = `package p
+func f(c bool) int {
+	x := 1
+	return x
+}`
+	_, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+
+	ret := firstReturn(t, fd)
+	// The position of the returned expression resolves to the innermost
+	// block node containing it: the return statement itself.
+	if got := cfg.blockNodeAt(ret.Results[0].Pos()); got != ast.Node(ret) {
+		t.Errorf("blockNodeAt(return operand) = %T, want the ReturnStmt", got)
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	const src = `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`
+	info, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+	reach := cfg.reachingDefs(info, funcParams(info, fd.Type, fd.Recv))
+
+	x := lookupVar(t, info, fd, "x")
+	redef := nthAssign(t, fd, 1)
+	defs := reach.defsReaching(firstReturn(t, fd), x)
+	if len(defs) != 1 {
+		t.Fatalf("after an unconditional redefinition, %d defs reach the return, want 1", len(defs))
+	}
+	if defs[0].node != ast.Node(redef) {
+		t.Errorf("the surviving definition is %v, want the redefinition x = 2", defs[0].node)
+	}
+}
+
+func TestReachingDefsMerge(t *testing.T) {
+	const src = `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`
+	info, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+	reach := cfg.reachingDefs(info, funcParams(info, fd.Type, fd.Recv))
+
+	x := lookupVar(t, info, fd, "x")
+	defs := reach.defsReaching(firstReturn(t, fd), x)
+	if len(defs) != 2 {
+		t.Fatalf("a conditional redefinition must merge at the join: got %d defs, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsLoopBackEdge(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s = s + i
+	}
+	return s
+}`
+	info, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+	reach := cfg.reachingDefs(info, funcParams(info, fd.Type, fd.Recv))
+
+	s := lookupVar(t, info, fd, "s")
+	defs := reach.defsReaching(firstReturn(t, fd), s)
+	if len(defs) != 2 {
+		t.Fatalf("both the init and the loop-carried definition must reach the return: got %d defs, want 2", len(defs))
+	}
+}
+
+func TestReachingDefsParam(t *testing.T) {
+	const src = `package p
+func f(c bool) bool {
+	return c
+}`
+	info, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+	params := funcParams(info, fd.Type, fd.Recv)
+	reach := cfg.reachingDefs(info, params)
+
+	if len(params) != 1 {
+		t.Fatalf("funcParams returned %d vars, want 1", len(params))
+	}
+	defs := reach.defsReaching(firstReturn(t, fd), params[0])
+	if len(defs) != 1 {
+		t.Fatalf("the parameter's entry definition must reach the return: got %d defs", len(defs))
+	}
+	if defs[0].node != nil {
+		t.Errorf("a parameter's entry definition has no defining node, got %T", defs[0].node)
+	}
+}
+
+func TestReachingDefsAddressTakenIsWeak(t *testing.T) {
+	const src = `package p
+func g(*int) {}
+func f() int {
+	x := 1
+	g(&x)
+	return x
+}`
+	info, fd := checkFunc(t, src, "f")
+	cfg := buildCFG(fd.Body)
+	reach := cfg.reachingDefs(info, funcParams(info, fd.Type, fd.Recv))
+
+	x := lookupVar(t, info, fd, "x")
+	defs := reach.defsReaching(firstReturn(t, fd), x)
+	// Taking &x is a weak definition: it generates (g may write through the
+	// pointer) without killing, so the original x := 1 still reaches too.
+	var weak, strong bool
+	for _, d := range defs {
+		if d.weak {
+			weak = true
+		} else {
+			strong = true
+		}
+	}
+	if !weak || !strong {
+		t.Errorf("want both the weak &x definition and the surviving strong x := 1; got %d defs (weak=%v strong=%v)",
+			len(defs), weak, strong)
+	}
+}

@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Handshake machine-checks the store→load order the parking protocol's
+// Dekker argument depends on (DESIGN.md §7, sched/lifecycle.go): a parker
+// must PUBLISH its parked flag before it CHECKS for work, and a producer
+// must PUSH its work before it CHECKS for parked workers. If either side
+// reorders its two steps — or performs one of them with a plain,
+// non-atomic access — the "whichever interleaving occurs, one side observes
+// the other" case analysis collapses and a wakeup can be lost forever.
+//
+// The contract is declared per function with
+//
+//	//abp:handshake store=<name> load=<name>
+//
+// where each <name> matches, inside the annotated function's body:
+//
+//   - a sync/atomic operation on a struct field with that name, via wrapper
+//     method (w.parked.Store(true), p.idle.Load()) or function-style call
+//     (atomic.StoreUint32(&s.f, 1)); or
+//   - a call to a function or method with that name (PushBottom,
+//     anyVisibleWork, signalWork, ...), for sides whose memory operation is
+//     delegated to an audited callee.
+//
+// The analyzer builds the function's control-flow graph (cfg.go) and
+// reports: a declared store or load that matches nothing; a load that is
+// not dominated by a store (some path checks before publishing); and any
+// plain, non-atomic read or write of a named field inside the region (a
+// single plain access voids sequential consistency). Operations inside
+// nested function literals run at unknown times and neither satisfy nor
+// violate the ordering; annotate the literal's own context instead.
+var Handshake = &Analyzer{
+	Name: "handshake",
+	Doc:  "enforces store-before-load (Dekker) ordering and all-atomic access inside //abp:handshake functions",
+	Run:  runHandshake,
+}
+
+// handshakeDirective is one parsed store=/load= pair.
+type handshakeDirective struct {
+	store, load string
+}
+
+func runHandshake(pass *Pass) error {
+	for _, fd := range declsOf(pass.Files) {
+		if fd.Body == nil {
+			continue
+		}
+		dirs, malformed := parseHandshakeDirectives(fd.Doc)
+		for _, bad := range malformed {
+			pass.Reportf(fd.Pos(),
+				"malformed //abp:handshake directive %q: want //abp:handshake store=<name> load=<name>", bad)
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		cfg := buildCFG(fd.Body)
+		name := funcName(fd)
+		for _, dir := range dirs {
+			stores := findHandshakeOps(pass, cfg, dir.store, true)
+			loads := findHandshakeOps(pass, cfg, dir.load, false)
+			if len(stores) == 0 {
+				pass.Reportf(fd.Pos(),
+					"//abp:handshake store=%s matches no store or call in %s: the publish side of the handshake is missing", dir.store, name)
+			}
+			if len(loads) == 0 {
+				pass.Reportf(fd.Pos(),
+					"//abp:handshake load=%s matches no load or call in %s: the check side of the handshake is missing", dir.load, name)
+			}
+			for _, op := range append(append([]handshakeOp(nil), stores...), loads...) {
+				if op.plain {
+					pass.Reportf(op.pos,
+						"plain (non-atomic) access to handshake variable %s in %s: every access must be a seq-cst sync/atomic operation for the Dekker argument to hold", op.name, name)
+				}
+			}
+			if len(stores) == 0 {
+				continue
+			}
+			for _, l := range loads {
+				if !storeDominatesLoad(cfg, stores, l) {
+					pass.Reportf(l.pos,
+						"handshake load of %s is not dominated by the store of %s in %s: on some path the check runs before the publish, so a concurrent peer can be missed (Dekker order, DESIGN.md §7)",
+						dir.load, dir.store, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// A handshakeOp is one matched operation: the block node it lives in (for
+// dominance queries), its exact position, and whether it was a plain
+// non-atomic access.
+type handshakeOp struct {
+	node  ast.Node // enclosing CFG block node
+	pos   token.Pos
+	name  string
+	plain bool
+}
+
+func storeDominatesLoad(cfg *funcCFG, stores []handshakeOp, l handshakeOp) bool {
+	for _, s := range stores {
+		if s.node == l.node {
+			if s.pos < l.pos {
+				return true
+			}
+			continue
+		}
+		if cfg.dominates(s.node, l.node) {
+			return true
+		}
+	}
+	return false
+}
+
+// findHandshakeOps scans every CFG block node for operations matching name.
+// isStore selects the write-side operation set (Store/Swap/Add/Or/And/
+// CompareAndSwap and plain assignments) versus the read side (Load and
+// plain reads). Calls to functions named name match either side.
+func findHandshakeOps(pass *Pass, cfg *funcCFG, name string, isStore bool) []handshakeOp {
+	var ops []handshakeOp
+	for _, blk := range cfg.blocks {
+		for _, node := range blk.nodes {
+			// consumed marks selectors that are operands of a matched atomic
+			// operation, so the plain-access scan below does not re-flag them.
+			consumed := map[ast.Node]bool{}
+			inspectSkippingFuncLits(node, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case isAtomicMethod(fn) && atomicOpMatchesSide(fn.Name(), isStore):
+					// w.parked.Store(true): the receiver selector names the field.
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv := ast.Unparen(sel.X)
+					if fieldName(pass.TypesInfo, recv) == name {
+						consumed[recv] = true
+						ops = append(ops, handshakeOp{node: node, pos: call.Pos(), name: name})
+					}
+				case isAtomicFunc(fn) && atomicOpMatchesSide(fn.Name(), isStore) && len(call.Args) > 0:
+					// atomic.StoreUint32(&s.f, 1): arg 0 names the field.
+					if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+						target := ast.Unparen(addr.X)
+						if fieldName(pass.TypesInfo, target) == name {
+							consumed[target] = true
+							ops = append(ops, handshakeOp{node: node, pos: call.Pos(), name: name})
+						}
+					}
+				case fn.Name() == name:
+					// Delegated operation: a call to a function of that name.
+					ops = append(ops, handshakeOp{node: node, pos: call.Pos(), name: name})
+				}
+				return true
+			})
+			// Plain accesses to a field with the declared name: writes when
+			// isStore, reads otherwise. They count as operations (so the
+			// ordering is still checked) but are flagged as non-atomic.
+			inspectSkippingFuncLits(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if !isStore {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						target := ast.Unparen(lhs)
+						if fieldName(pass.TypesInfo, target) == name {
+							ops = append(ops, handshakeOp{node: node, pos: lhs.Pos(), name: name, plain: true})
+						}
+					}
+				case *ast.SelectorExpr:
+					if isStore || consumed[n] {
+						return true
+					}
+					if isAssignTarget(node, n) {
+						return true
+					}
+					if s, ok := pass.TypesInfo.Selections[n]; ok && s.Kind() == types.FieldVal && n.Sel.Name == name {
+						// Not a receiver of an atomic call (consumed) and not a
+						// write target: a plain read.
+						if !isAtomicOperand(pass.TypesInfo, node, n) {
+							ops = append(ops, handshakeOp{node: node, pos: n.Pos(), name: name, plain: true})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return ops
+}
+
+// atomicOpMatchesSide reports whether the sync/atomic operation opName
+// belongs to the store side (anything that writes) or the load side.
+func atomicOpMatchesSide(opName string, isStore bool) bool {
+	isWrite := false
+	for _, p := range []string{"Store", "Swap", "Add", "And", "Or", "CompareAndSwap"} {
+		if strings.HasPrefix(opName, p) {
+			isWrite = true
+			break
+		}
+	}
+	if isStore {
+		return isWrite
+	}
+	return strings.HasPrefix(opName, "Load")
+}
+
+// fieldName resolves the name a field-selecting expression denotes: x.f
+// yields "f"; a bare identifier yields its name only when it denotes a
+// variable (handshake fields are normally struct fields, but package-level
+// shared variables work the same way).
+func fieldName(info *types.Info, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj().Name()
+		}
+		// Package-qualified identifier (pkg.Var): still a variable name.
+		if _, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return e.Sel.Name
+		}
+	case *ast.Ident:
+		if _, ok := info.Uses[e].(*types.Var); ok {
+			return e.Name
+		}
+	}
+	return ""
+}
+
+// isAssignTarget reports whether sel is an assignment LHS within root.
+func isAssignTarget(root ast.Node, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ast.Unparen(lhs) == sel {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAtomicOperand reports whether sel appears as the receiver of a wrapper
+// atomic method call or the &-operand of a function-style atomic call
+// anywhere under root — those accesses are atomic, not plain.
+func isAtomicOperand(info *types.Info, root ast.Node, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		switch {
+		case isAtomicMethod(fn):
+			if recv, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && ast.Unparen(recv.X) == sel {
+				found = true
+			}
+		case isAtomicFunc(fn) && len(call.Args) > 0:
+			if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND && ast.Unparen(addr.X) == sel {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectSkippingFuncLits walks n without descending into function
+// literals: their bodies execute at unknown times relative to the region.
+func inspectSkippingFuncLits(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(x)
+	})
+}
+
+// parseHandshakeDirectives extracts well-formed store=/load= pairs from a
+// doc comment and returns the raw text of malformed ones.
+func parseHandshakeDirectives(doc *ast.CommentGroup) (dirs []handshakeDirective, malformed []string) {
+	if doc == nil {
+		return nil, nil
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//abp:handshake")
+		if !ok {
+			continue
+		}
+		var d handshakeDirective
+		ok = true
+		fields := strings.Fields(rest)
+		for _, f := range fields {
+			switch {
+			case strings.HasPrefix(f, "store="):
+				d.store = strings.TrimPrefix(f, "store=")
+			case strings.HasPrefix(f, "load="):
+				d.load = strings.TrimPrefix(f, "load=")
+			default:
+				ok = false
+			}
+		}
+		if !ok || d.store == "" || d.load == "" || len(fields) != 2 {
+			malformed = append(malformed, strings.TrimSpace(c.Text))
+			continue
+		}
+		dirs = append(dirs, d)
+	}
+	return dirs, malformed
+}

@@ -71,15 +71,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// All returns the abpvet analyzer suite.
+// All returns the abpvet analyzer suite: PR 2's four syntactic analyzers
+// plus PR 3's four flow-aware ones, in alphabetical order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, OwnerOnly, NonBlocking, CASLoop}
+	return []*Analyzer{AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings,
 // with //abp:ignore-suppressed diagnostics removed and the rest sorted by
 // position.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWith(a, pkg, CollectIgnores(pkg))
+}
+
+// RunWith is Run with a caller-held ignore index, so one index can span a
+// whole suite run over the package and afterwards report which directives
+// never suppressed anything (Ignores.Unused).
+func RunWith(a *Analyzer, pkg *Package, ignores *Ignores) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
@@ -90,12 +98,10 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %v", a.Name, err)
 	}
-	ignores := collectIgnores(pkg)
 	kept := pass.diags[:0]
 	for _, d := range pass.diags {
 		pos := pkg.Fset.Position(d.Pos)
-		if ignores[ignoreKey{pos.Filename, pos.Line, a.Name}] ||
-			ignores[ignoreKey{pos.Filename, pos.Line - 1, a.Name}] {
+		if ignores.suppress(pos.Filename, pos.Line, a.Name) {
 			continue
 		}
 		kept = append(kept, d)
@@ -110,10 +116,28 @@ type ignoreKey struct {
 	analyzer string
 }
 
-// collectIgnores indexes every justified //abp:ignore directive by the file
-// and line it appears on.
-func collectIgnores(pkg *Package) map[ignoreKey]bool {
-	out := map[ignoreKey]bool{}
+// An IgnoreDirective is one justified //abp:ignore comment.
+type IgnoreDirective struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	used     bool
+}
+
+// Ignores indexes a package's //abp:ignore directives and records which of
+// them actually suppressed a finding.
+type Ignores struct {
+	byKey map[ignoreKey]*IgnoreDirective
+	all   []*IgnoreDirective
+}
+
+// CollectIgnores indexes every justified //abp:ignore directive by the file
+// and line it appears on. Directives without a justification are inert and
+// not indexed (and so can never be reported as unused either: they already
+// do not suppress).
+func CollectIgnores(pkg *Package) *Ignores {
+	ig := &Ignores{byKey: map[ignoreKey]*IgnoreDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -126,8 +150,39 @@ func collectIgnores(pkg *Package) map[ignoreKey]bool {
 					continue // no justification: directive is inert
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				out[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				d := &IgnoreDirective{Pos: c.Pos(), File: pos.Filename, Line: pos.Line, Analyzer: fields[0]}
+				ig.byKey[ignoreKey{pos.Filename, pos.Line, fields[0]}] = d
+				ig.all = append(ig.all, d)
 			}
+		}
+	}
+	return ig
+}
+
+// suppress reports whether a directive covers a finding by analyzer at
+// file:line (same line or the line above), marking the directive used.
+func (ig *Ignores) suppress(file string, line int, analyzer string) bool {
+	if ig == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if d, ok := ig.byKey[ignoreKey{file, l, analyzer}]; ok {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns the directives that suppressed nothing across every
+// RunWith sharing this index — stale suppressions that should be deleted
+// before they hide a future regression. Only meaningful after the full
+// analyzer suite has run; a partial run under-reports use.
+func (ig *Ignores) Unused() []*IgnoreDirective {
+	var out []*IgnoreDirective
+	for _, d := range ig.all {
+		if !d.used {
+			out = append(out, d)
 		}
 	}
 	return out

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// OwnerEscape closes the loophole OwnerOnly's reachability argument leaves
+// open: OwnerOnly audits who CALLS the owner-only operations, but an
+// audited owner function can still leak the deque itself to a context the
+// call graph never sees — hand it to a new goroutine, send it down a
+// channel, or store it into a struct another goroutine reads. Any of those
+// silently manufactures a second "owner", voiding the good-set premise of
+// paper Section 3.2 that every safety property of the Figure 5 deque is
+// conditional on.
+//
+// Inside every //abp:owner function (and the function literals it owns, per
+// the callgraph's goroutine-aware propagation), the analyzer flags a
+// deque-typed value — any type whose method set has PushBottom+PopBottom or
+// startPushBottom+startPopBottom — that escapes via:
+//
+//   - a go statement (argument, receiver, or a closure capturing it),
+//   - a channel send, or
+//   - a store to a struct field, slice/map element, composite literal, or
+//     package-level variable.
+//
+// Locals, parameter passing to statically resolved calls (OwnerOnly audits
+// those callees), and returns are not escapes: the single-owner argument
+// for them is the caller's obligation.
+var OwnerEscape = &Analyzer{
+	Name: "ownerescape",
+	Doc:  "forbids an //abp:owner function's deque (or a closure capturing it) from escaping via go statements, channel sends, or stores",
+	Run:  runOwnerEscape,
+}
+
+func runOwnerEscape(pass *Pass) error {
+	cg := newCallGraph(pass.TypesInfo, pass.Files)
+	owned := cg.ownedNodes()
+	if len(owned) == 0 {
+		return nil
+	}
+
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := pass.TypesInfo.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	// escapes reports why e escaping matters: the expression is itself
+	// deque-typed, or a function literal capturing a deque-typed variable.
+	describe := func(e ast.Expr) (string, bool) {
+		e = ast.Unparen(e)
+		if isDequeLike(typeOf(e), pass.Pkg) {
+			return "deque " + exprString(e), true
+		}
+		if lit, ok := e.(*ast.FuncLit); ok {
+			for _, v := range cg.captures(lit) {
+				if isDequeLike(v.Type(), pass.Pkg) {
+					return "closure capturing deque " + v.Name(), true
+				}
+			}
+		}
+		return "", false
+	}
+
+	for _, node := range cg.nodes {
+		if !owned[node] {
+			continue
+		}
+		node.inspectOwn(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The launched callee's receiver and arguments all move to
+				// the new goroutine.
+				if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok {
+					if what, bad := describe(sel.X); bad {
+						pass.Reportf(n.Pos(),
+							"%s escapes %s into a go statement: the new goroutine is not the deque's single owner (paper §3.2)",
+							node.name(), what)
+					}
+				}
+				if what, bad := describe(n.Call.Fun); bad {
+					pass.Reportf(n.Pos(),
+						"%s launches a %s on a new goroutine, which is not the deque's single owner (paper §3.2)",
+						node.name(), what)
+				}
+				for _, arg := range n.Call.Args {
+					if what, bad := describe(arg); bad {
+						pass.Reportf(arg.Pos(),
+							"%s passes %s to a go statement: the new goroutine is not the deque's single owner (paper §3.2)",
+							node.name(), what)
+					}
+				}
+			case *ast.SendStmt:
+				if what, bad := describe(n.Value); bad {
+					pass.Reportf(n.Pos(),
+						"%s sends %s on a channel: the receiver is not the deque's single owner (paper §3.2)",
+						node.name(), what)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // tuple assignment: RHS is a single call, not a deque
+					}
+					if !isEscapingLValue(pass.TypesInfo, lhs) {
+						continue
+					}
+					if what, bad := describe(n.Rhs[i]); bad {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"%s stores %s into %s: a context outside the audited owner call graph could reach it (paper §3.2)",
+							node.name(), what, exprString(lhs))
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if what, bad := describe(v); bad {
+						pass.Reportf(v.Pos(),
+							"%s embeds %s in a composite literal: the containing value may escape the owner context (paper §3.2)",
+							node.name(), what)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEscapingLValue reports whether assigning to lhs publishes the value
+// beyond the current function: struct fields, slice/map/array elements,
+// pointer dereferences, and package-level variables. Plain locals do not
+// escape by assignment.
+func isEscapingLValue(info *types.Info, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true // field store (package-qualified idents are not assignable fields here)
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false
+		}
+		v, ok := info.Uses[lhs].(*types.Var)
+		if !ok {
+			if v, ok = info.Defs[lhs].(*types.Var); !ok {
+				return false
+			}
+		}
+		// Package-level variables are shared state.
+		return v.Parent() != nil && v.Parent().Parent() == types.Universe
+	}
+	return false
+}
+
+// isDequeLike reports whether t's method set (value or pointer) carries the
+// owner-only deque operations, in either the production naming
+// (PushBottom/PopBottom: package deque and its Dequer interface) or the
+// simulator naming (startPushBottom/startPopBottom: package sim's
+// dequeOps). from scopes unexported-method lookup to the analyzed package.
+func isDequeLike(t types.Type, from *types.Package) bool {
+	if t == nil {
+		return false
+	}
+	has := func(name string) bool {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, from, name)
+		_, ok := obj.(*types.Func)
+		return ok
+	}
+	return (has("PushBottom") && has("PopBottom")) ||
+		(has("startPushBottom") && has("startPopBottom"))
+}
+
+// exprString renders a short expression for diagnostics (identifiers and
+// selector chains; anything else becomes "value").
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "value"
+	}
+}

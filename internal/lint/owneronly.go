@@ -10,17 +10,22 @@ import (
 // deque's single owner. Ownership is not a property go/types can see, so it
 // is declared: a function carrying the //abp:owner directive is an audited
 // owner context (the worker loop that owns its deque, or a quiescent phase
-// such as the between-runs drain). The analyzer builds the package's static
-// call graph and flags every reference to a PushBottom or PopBottom method
-// — call or method value — whose lexically enclosing top-level function is
-// neither annotated nor statically reachable from an annotated function.
+// such as the between-runs drain). The analyzer flags every reference to a
+// PushBottom or PopBottom method — call or method value — whose innermost
+// enclosing function is neither annotated nor reachable from an annotated
+// function along the package call graph (callgraph.go).
 //
-// The check is per-package and static: dynamic dispatch through function
-// values and cross-package calls do not extend the reachable set, so a
-// helper invoked only via a task closure needs its own //abp:owner
-// annotation (with a comment arguing why it runs on the owner goroutine).
-// That is deliberate — every new owner context should be written down and
-// reviewed, exactly as TR-99-11 reviews the good-set assumption.
+// Reachability is goroutine-aware: ownership extends along plain calls and
+// defers (the callee runs on the owner's goroutine) but never across a `go`
+// statement — `go helper(d)` hands the deque to a NEW goroutine, which is
+// by definition not the single owner, so helper needs its own audited
+// annotation. Function literals are separate call-graph nodes: one that is
+// invoked in place (or deferred) inherits the enclosing owner context,
+// while one that is launched via `go` or escapes as a value (stored,
+// passed, sent) inherits nothing. Dynamic dispatch and cross-package calls
+// likewise do not extend the reachable set. That is deliberate — every new
+// owner context should be written down and reviewed, exactly as TR-99-11
+// reviews the good-set assumption.
 var OwnerOnly = &Analyzer{
 	Name: "owneronly",
 	Doc:  "requires PushBottom/PopBottom references to be reachable from an //abp:owner-annotated function",
@@ -28,59 +33,14 @@ var OwnerOnly = &Analyzer{
 }
 
 func runOwnerOnly(pass *Pass) error {
-	decls := declsOf(pass.Files)
-	declOf := map[*types.Func]*ast.FuncDecl{}
-	for _, fd := range decls {
-		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-			declOf[fn] = fd
-		}
-	}
+	cg := newCallGraph(pass.TypesInfo, pass.Files)
+	owned := cg.ownedNodes()
 
-	// Static same-package call graph over top-level declarations, closures
-	// attributed to the declaration containing them.
-	calls := map[*ast.FuncDecl][]*ast.FuncDecl{}
-	for _, fd := range decls {
-		if fd.Body == nil {
+	for _, node := range cg.nodes {
+		if owned[node] {
 			continue
 		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
-				if target, ok := declOf[callee]; ok {
-					calls[fd] = append(calls[fd], target)
-				}
-			}
-			return true
-		})
-	}
-
-	owned := map[*ast.FuncDecl]bool{}
-	var frontier []*ast.FuncDecl
-	for _, fd := range decls {
-		if hasDirective(fd.Doc, "//abp:owner") {
-			owned[fd] = true
-			frontier = append(frontier, fd)
-		}
-	}
-	for len(frontier) > 0 {
-		fd := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		for _, callee := range calls[fd] {
-			if !owned[callee] {
-				owned[callee] = true
-				frontier = append(frontier, callee)
-			}
-		}
-	}
-
-	for _, fd := range decls {
-		if owned[fd] || fd.Body == nil {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+		node.inspectOwn(func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -94,7 +54,7 @@ func runOwnerOnly(pass *Pass) error {
 			}
 			pass.Reportf(sel.Pos(),
 				"%s called outside an owner context: %s is not reachable from any //abp:owner function (single-owner contract, paper §3.2)",
-				sel.Sel.Name, funcName(fd))
+				sel.Sel.Name, node.name())
 			return true
 		})
 	}

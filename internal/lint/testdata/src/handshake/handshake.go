@@ -1,0 +1,92 @@
+// Package handshake is the analysistest fixture for the handshake
+// analyzer: inside an //abp:handshake function, the named store must
+// dominate every named load (the Dekker publish-before-check order), and
+// every access to the named variables must be a sync/atomic operation.
+package handshake
+
+import "sync/atomic"
+
+type worker struct {
+	parked atomic.Bool
+	flag   bool
+}
+
+func (w *worker) anyWork() bool { return false }
+
+type shared struct{ f uint32 }
+
+func peers(*shared) int { return 0 }
+
+// good is the canonical order: publish the flag, then re-check for work.
+//
+//abp:handshake store=parked load=anyWork
+func good(w *worker) {
+	w.parked.Store(true)
+	if w.anyWork() { // accepted: the load is dominated by the store
+		w.parked.Store(false)
+	}
+}
+
+// reversed checks before publishing on one path: the load in the branch
+// can run before any store, so a concurrent producer can be missed.
+//
+//abp:handshake store=parked load=anyWork
+func reversed(w *worker, race bool) {
+	if race {
+		_ = w.anyWork() // want `handshake load of anyWork is not dominated by the store of parked`
+	}
+	w.parked.Store(true)
+	_ = w.anyWork() // accepted: dominated on every path
+}
+
+// plainFlag performs the handshake through a non-atomic field: the
+// ordering holds, but without seq-cst atomics the Dekker argument is void.
+//
+//abp:handshake store=flag load=anyWork
+func plainFlag(w *worker) {
+	w.flag = true   // want `plain \(non-atomic\) access to handshake variable flag`
+	_ = w.anyWork() // accepted: still dominated (by the plain store)
+}
+
+// missing declares a handshake whose publish side does not exist.
+//
+//abp:handshake store=parked load=anyWork
+func missing(w *worker) { // want `store=parked matches no store or call in missing`
+	_ = w.anyWork() // accepted: with no store at all, only the missing-store finding fires
+}
+
+// malformed directives are themselves findings, not silently inert.
+//
+//abp:handshake store=parked
+func malformed(w *worker) { // want `malformed //abp:handshake directive`
+	w.parked.Store(true)
+	_ = w.anyWork()
+}
+
+// fnstyle uses function-style atomics on a plain field: also recognized.
+//
+//abp:handshake store=f load=peers
+func fnstyle(s *shared) {
+	atomic.StoreUint32(&s.f, 1)
+	_ = peers(s) // accepted: call named peers, dominated by the atomic store
+}
+
+// suppressed documents an early optimistic check with a justified ignore.
+//
+//abp:handshake store=parked load=anyWork
+func suppressed(w *worker) {
+	//abp:ignore handshake the early check is an optimization; the post-store check below is the correctness path
+	_ = w.anyWork() // accepted: justified ignore
+	w.parked.Store(true)
+	_ = w.anyWork() // accepted
+}
+
+var (
+	_ = good
+	_ = reversed
+	_ = plainFlag
+	_ = missing
+	_ = malformed
+	_ = fnstyle
+	_ = suppressed
+)

@@ -1,0 +1,98 @@
+// Package mustcheck is the analysistest fixture for the mustcheck
+// analyzer: the boolean result of a PushBottom/CompareAndSwap-shaped call
+// must be consulted — a refused push or failed CAS is an answer, not a
+// formality.
+package mustcheck
+
+import "sync/atomic"
+
+type deque struct {
+	items []*int
+	cap   int
+}
+
+func (d *deque) PushBottom(v *int) bool {
+	if len(d.items) >= d.cap {
+		return false
+	}
+	d.items = append(d.items, v)
+	return true
+}
+
+// discards covers the three syntactic discard shapes.
+func discards(d *deque) {
+	d.PushBottom(new(int))       // want `boolean result of d.PushBottom is discarded`
+	go d.PushBottom(new(int))    // want `discarded by the go statement`
+	defer d.PushBottom(new(int)) // want `discarded by the defer statement`
+	_ = d.PushBottom(new(int))   // want `explicitly discarded to _`
+}
+
+// deadAssign stores the result but overwrites it before any read: the
+// flow-aware case a syntactic checker cannot see.
+func deadAssign(d *deque) bool {
+	ok := d.PushBottom(new(int)) // want `assigned to "ok" but that value is never consulted`
+	ok = false
+	return ok
+}
+
+// useBeforeRedefine reads the variable only BEFORE the push overwrites it:
+// the earlier read satisfies the compiler but not the push's definition.
+func useBeforeRedefine(d *deque) {
+	ok := false
+	println(ok)                 // reads the first definition, not the push's
+	ok = d.PushBottom(new(int)) // want `assigned to "ok" but that value is never consulted`
+}
+
+// condUse consults the result in the if-statement's condition.
+func condUse(d *deque) {
+	if ok := d.PushBottom(new(int)); !ok { // accepted: consulted in the condition
+		return
+	}
+}
+
+// laterUse consults the result only after intervening control flow.
+func laterUse(d *deque) bool {
+	ok := d.PushBottom(new(int)) // accepted: read after the loop
+	for i := 0; i < 3; i++ {
+	}
+	return ok
+}
+
+// branchUse consults the result on one branch only: that is still a use.
+func branchUse(d *deque, verbose bool) {
+	ok := d.PushBottom(new(int)) // accepted: read on the verbose path
+	if verbose {
+		println(ok)
+	}
+}
+
+// closureUse hands the result to a closure: a use at an unknown time, which
+// conservatively counts.
+func closureUse(d *deque) func() bool {
+	ok := d.PushBottom(new(int)) // accepted: captured by the returned closure
+	return func() bool { return ok }
+}
+
+// firstWriter is the classic justified discard: on a lost CAS another
+// goroutine already published an equally good value.
+func firstWriter(p *atomic.Pointer[int], v *int) {
+	//abp:ignore mustcheck first-writer-wins: a lost race means an equivalent value is already published
+	p.CompareAndSwap(nil, v) // accepted: justified ignore
+}
+
+// flaggedCAS is the same shape without the justification.
+func flaggedCAS(p *atomic.Pointer[int], v *int) {
+	p.CompareAndSwap(nil, v) // want `boolean result of p.CompareAndSwap is discarded`
+}
+
+var (
+	_ = discards
+	_ = deadAssign
+	_ = useBeforeRedefine
+	_ = condUse
+	_ = laterUse
+	_ = branchUse
+	_ = closureUse
+	_ = firstWriter
+	_ = flaggedCAS
+)

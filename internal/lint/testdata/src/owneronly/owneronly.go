@@ -40,5 +40,45 @@ func rogue(d *deque) {
 	pop()
 }
 
+// spawner shows that ownership does NOT cross a go statement: the spawned
+// callee and the spawned closure run on a different goroutine, so their
+// owner-only operations are violations even though spawner is annotated.
+//
+//abp:owner
+func spawner(d *deque) {
+	go sidekick(d)
+	go func() {
+		d.PushBottom(new(int)) // want `PushBottom called outside an owner context`
+	}()
+}
+
+// sidekick is only ever launched with go, never called: not owned.
+func sidekick(d *deque) {
+	for d.PopBottom() != nil { // want `PopBottom called outside an owner context`
+	}
+}
+
+// inline shows the two literal shapes that DO inherit ownership — an
+// immediately invoked closure and a deferred closure both run on the
+// owner's goroutine — and the one that does not: a literal bound to a
+// variable escapes as a value, and a call through that variable cannot be
+// resolved statically, so the literal is conservatively unowned.
+//
+//abp:owner
+func inline(d *deque) {
+	func() {
+		d.PushBottom(new(int)) // accepted: invoked in place on the owner goroutine
+	}()
+	defer func() {
+		d.PopBottom() // accepted: defer runs on the owner goroutine
+	}()
+	fn := func() {
+		d.PushBottom(new(int)) // want `PushBottom called outside an owner context`
+	}
+	fn()
+}
+
 var _ = run
 var _ = rogue
+var _ = spawner
+var _ = inline

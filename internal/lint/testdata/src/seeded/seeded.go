@@ -1,0 +1,44 @@
+// Package seeded reintroduces, in miniature, the exact bug PR 1 fixed in
+// sched.(*Pool).submitRoot: the root task's PushBottom result was
+// discarded, so a full deque silently dropped the root and Pool.Run
+// deadlocked on a pending count that could never reach zero. The fixture
+// asserts that mustcheck now catches that bug class mechanically.
+package seeded
+
+type task struct{ fn func() }
+
+type deque struct {
+	items []*task
+	cap   int
+}
+
+func (d *deque) PushBottom(t *task) bool {
+	if len(d.items) >= d.cap {
+		return false
+	}
+	d.items = append(d.items, t)
+	return true
+}
+
+func (d *deque) PopBottom() *task {
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return t
+}
+
+type worker struct{ dq *deque }
+
+type pool struct{ workers []*worker }
+
+// submitRoot is the pre-PR-1 code shape, verbatim: the push's boolean
+// vanishes, so a refusal drops the root task on the floor.
+//
+//abp:owner quiescent phase: workers have not been started yet
+func (p *pool) submitRoot(t *task) {
+	p.workers[0].dq.PushBottom(t) // want `PushBottom is discarded.*submitRoot deadlock class`
+}
+
+var _ = (*pool).submitRoot

@@ -106,7 +106,12 @@ func (w *Worker) idleWait(fails int) bool {
 
 // park blocks the worker until new work is signalled or the run ends. It
 // publishes the parked flag before re-checking for work (the Dekker
-// protocol with signalWork) so a concurrent Spawn cannot be missed.
+// protocol with signalWork) so a concurrent Spawn cannot be missed. The
+// handshake directive makes abpvet verify that ordering: the parked store
+// must dominate the anyVisibleWork re-scan, and every access to the flag
+// must be atomic.
+//
+//abp:handshake store=parked load=anyVisibleWork
 func (w *Worker) park() bool {
 	p := w.pool
 	p.idle.Add(1)

@@ -329,9 +329,13 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // Spawn schedules fn to run asynchronously. It pushes the task onto the
 // bottom of the caller's deque, where it is available to thieves, and
 // wakes a parked worker if one exists; if the deque is full the task runs
-// inline instead (correct, just not stealable).
+// inline instead (correct, just not stealable). The handshake directive
+// makes abpvet verify the producer half of the Dekker protocol: the push
+// (PushBottom's internal atomic store) must dominate the signalWork scan of
+// the parked flags.
 //
 //abp:owner tasks execute only on worker goroutines, so the receiver owns w.dq
+//abp:handshake store=PushBottom load=signalWork
 func (w *Worker) Spawn(fn func(*Worker)) {
 	w.spawns.Add(1)
 	w.pool.pending.Add(1)

@@ -278,6 +278,8 @@ const drainRounds = 8
 // until MaxRounds elapse, and returns the statistics. All time-like
 // statistics (Steps, ProcInstr, PA) are measured at the moment the final
 // node executed, as in the paper's bounds.
+//
+//abp:owner the single-threaded engine goroutine owns every simulated deque
 func (e *Engine) Run() Result {
 	slots := make([]Slot, 0, e.cfg.P)
 	order := make([]int, 0, e.cfg.P)

@@ -63,6 +63,10 @@ func (d *lockDeque) startPopTop(caller int) op {
 	return &lockedOp{d: d, kind: 2, res: dag.None, owner: caller}
 }
 
+// step is only ever driven from (*process).step on the single-threaded
+// engine goroutine, which is the one owner of every simulated deque.
+//
+//abp:owner driven only by the single-threaded engine via (*process).step
 func (o *lockedOp) step() bool {
 	switch o.pc {
 	case 0: // test-and-set; spin (one instruction per attempt)
