@@ -1,0 +1,32 @@
+// Command abprace runs only the whole-package static happens-before race
+// detector (analyzer abprace of package internal/lint) over Go packages —
+// the focused front end for the most expensive analyzer in the suite.
+//
+// Usage:
+//
+//	go run ./cmd/abprace [-json] [-sarif file] [-baseline file]
+//	                     [-write-baseline file] [-C dir] [packages]
+//
+// Packages default to ./... . Exit status: 0 when clean, 1 when findings
+// were reported, 2 on operational failure. Findings can be suppressed case
+// by case with a justified //abp:race-ignore comment; stale-directive
+// detection (-unused-ignores) needs the full suite and lives in abpvet.
+package main
+
+import (
+	"io"
+	"os"
+
+	"worksteal/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run returns the exit status instead of calling os.Exit, for in-process
+// tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	tool := &lint.Tool{Name: "abprace", Analyzers: []*lint.Analyzer{lint.AbpRace}}
+	return tool.Main(args, stdout, stderr)
+}

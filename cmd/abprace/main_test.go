@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"worksteal/internal/lint"
+)
+
+// raceDir is the lint fixture replaying the PR-1 Pool.Stats plain-counter
+// race; abprace reports exactly one finding there, carrying both
+// goroutine provenance chains.
+const raceDir = "../../internal/lint/testdata/src/seededrace"
+
+// provenance lists the substrings every rendering of the seeded finding
+// must contain: the racing field, the worker goroutine's call chain, and
+// the external caller's.
+var provenance = []string{
+	"possible data race on field steals",
+	"goroutine (*Worker).loop",
+	"(*Worker).loop -> (*Worker).record",
+	"external caller",
+	"(*Pool).Stats",
+}
+
+// runCLI invokes the command in process and returns its exit status and
+// captured streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	// The command's own package launches no goroutines.
+	code, stdout, stderr := runCLI(t, ".")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestSeededRaceText(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", raceDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	for _, want := range provenance {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("text output lacks %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stdout, "(abprace)") {
+		t.Errorf("finding line does not name its analyzer: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr)
+	}
+}
+
+func TestSeededRaceJSON(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-C", raceDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "abprace" || f.File != "seededrace.go" {
+		t.Errorf("unexpected finding %+v", f)
+	}
+	for _, want := range provenance {
+		if !strings.Contains(f.Message, want) {
+			t.Errorf("JSON message lacks %q:\n%s", want, f.Message)
+		}
+	}
+}
+
+func TestSeededRaceSARIF(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-sarif", "-", "-C", raceDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif - stdout is not pure SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("unexpected SARIF shape: %s", stdout)
+	}
+	if name := log.Runs[0].Tool.Driver.Name; name != "abprace" {
+		t.Errorf("SARIF driver name = %q, want abprace", name)
+	}
+	res := log.Runs[0].Results[0]
+	if res.RuleID != "abprace" {
+		t.Errorf("ruleId = %q, want abprace", res.RuleID)
+	}
+	for _, want := range provenance {
+		if !strings.Contains(res.Message.Text, want) {
+			t.Errorf("SARIF message lacks %q:\n%s", want, res.Message.Text)
+		}
+	}
+}
+
+func TestUnusedIgnoresNeedsFullSuite(t *testing.T) {
+	code, _, stderr := runCLI(t, "-unused-ignores", ".")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "full abpvet suite") {
+		t.Errorf("stderr %q does not point at abpvet", stderr)
+	}
+}

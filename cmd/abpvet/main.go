@@ -6,7 +6,8 @@
 // Usage:
 //
 //	go run ./cmd/abpvet [-only owneronly,tagaba] [-json] [-sarif file]
-//	                    [-baseline file] [-unused-ignores] [-C dir] [packages]
+//	                    [-baseline file] [-write-baseline file]
+//	                    [-unused-ignores] [-C dir] [packages]
 //
 // Packages default to ./... . Test files and testdata directories are not
 // analyzed (the analyzers guard production invariants; tests intentionally
@@ -16,18 +17,14 @@
 // operational failure (bad flags, load or type-check errors, unwritable
 // output). Findings can be suppressed case by case with a justified
 // //abp:ignore comment (see package internal/lint); -unused-ignores
-// reports directives that no longer suppress anything, and -baseline
-// drops findings recorded in a previous -json report.
+// reports directives that no longer suppress anything, -baseline drops
+// findings recorded in a previous report, and -write-baseline records the
+// current findings as that report.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"worksteal/internal/lint"
 )
@@ -37,157 +34,9 @@ func main() {
 }
 
 // run is the whole command, factored for in-process testing: it returns
-// the exit status instead of calling os.Exit.
+// the exit status instead of calling os.Exit. The implementation lives in
+// lint.Tool so cmd/abprace shares it.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("abpvet", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	only := fs.String("only", "", "comma-separated subset of analyzers to run (default all)")
-	list := fs.Bool("list", false, "list available analyzers and exit")
-	jsonOut := fs.Bool("json", false, "write findings to stdout as a JSON report (the -baseline input format)")
-	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this `file` (\"-\" for stdout)")
-	baselinePath := fs.String("baseline", "", "drop findings recorded in this baseline `file` (a previous -json report)")
-	unusedIgnores := fs.Bool("unused-ignores", false, "also report stale //abp:ignore directives (needs the full suite: incompatible with -only)")
-	dir := fs.String("C", ".", "load packages as if launched from `dir`")
-	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: abpvet [flags] [packages]\n\n")
-		fs.PrintDefaults()
-		fmt.Fprintf(fs.Output(), "\nanalyzers:\n")
-		for _, a := range lint.All() {
-			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
-		}
-	}
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-
-	analyzers := lint.All()
-	if *list {
-		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
-		}
-		return 0
-	}
-	if *only != "" {
-		if *unusedIgnores {
-			fmt.Fprintf(stderr, "abpvet: -unused-ignores needs the full suite and cannot be combined with -only\n")
-			return 2
-		}
-		byName := map[string]*lint.Analyzer{}
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = nil
-		for _, name := range strings.Split(*only, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(stderr, "abpvet: unknown analyzer %q\n", name)
-				return 2
-			}
-			analyzers = append(analyzers, a)
-		}
-	}
-
-	root, err := filepath.Abs(*dir)
-	if err != nil {
-		fmt.Fprintf(stderr, "abpvet: %v\n", err)
-		return 2
-	}
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := lint.NewLoader().Load(*dir, patterns...)
-	if err != nil {
-		fmt.Fprintf(stderr, "abpvet: %v\n", err)
-		return 2
-	}
-
-	var findings []lint.Finding
-	for _, pkg := range pkgs {
-		if pkg.Standard {
-			continue
-		}
-		ignores := lint.CollectIgnores(pkg)
-		for _, a := range analyzers {
-			diags, err := lint.RunWith(a, pkg, ignores)
-			if err != nil {
-				fmt.Fprintf(stderr, "abpvet: %s: %v\n", pkg.ImportPath, err)
-				return 2
-			}
-			for _, d := range diags {
-				findings = append(findings, lint.MakeFinding(a.Name, pkg.Fset, d.Pos, d.Message, root))
-			}
-		}
-		if *unusedIgnores {
-			for _, d := range ignores.Unused() {
-				findings = append(findings, lint.UnusedIgnoreFinding(d, root))
-			}
-		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-
-	if *baselinePath != "" {
-		baseline, err := lint.ReadBaseline(*baselinePath)
-		if err != nil {
-			fmt.Fprintf(stderr, "abpvet: %v\n", err)
-			return 2
-		}
-		findings = baseline.Filter(findings)
-	}
-
-	if *jsonOut {
-		if err := lint.WriteJSON(stdout, findings); err != nil {
-			fmt.Fprintf(stderr, "abpvet: %v\n", err)
-			return 2
-		}
-	}
-	if *sarifPath != "" {
-		rules := analyzers
-		if *unusedIgnores {
-			rules = append(append([]*lint.Analyzer(nil), rules...), lint.UnusedIgnoreAnalyzer)
-		}
-		if err := writeSARIFTo(*sarifPath, stdout, rules, findings); err != nil {
-			fmt.Fprintf(stderr, "abpvet: %v\n", err)
-			return 2
-		}
-	}
-	if !*jsonOut && *sarifPath != "-" {
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
-		}
-	}
-
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "abpvet: %d finding(s)\n", len(findings))
-		return 1
-	}
-	return 0
-}
-
-// writeSARIFTo writes the SARIF log to path, with "-" meaning stdout.
-func writeSARIFTo(path string, stdout io.Writer, rules []*lint.Analyzer, findings []lint.Finding) error {
-	if path == "-" {
-		return lint.WriteSARIF(stdout, rules, findings)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := lint.WriteSARIF(f, rules, findings); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	tool := &lint.Tool{Name: "abpvet", Analyzers: lint.All(), FullSuite: true}
+	return tool.Main(args, stdout, stderr)
 }

@@ -153,6 +153,58 @@ func TestBaselineSuppressesKnownFindings(t *testing.T) {
 	}
 }
 
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	// Recording exits 0 even though findings exist: refreshing a baseline
+	// is an accept-the-world operation, not a failed check.
+	code, stdout, stderr := runCLI(t, "-write-baseline", path, "-C", seededDir, ".")
+	if code != 0 {
+		t.Fatalf("write-baseline run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("write-baseline run printed findings: %q", stdout)
+	}
+	if !strings.Contains(stderr, "wrote baseline with 1 finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr)
+	}
+
+	// The file is the -json Report format with the expected finding.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("baseline file does not parse as a Report: %v\n%s", err, data)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "mustcheck" {
+		t.Fatalf("unexpected baseline contents: %+v", rep.Findings)
+	}
+
+	// Round trip: feeding the written baseline back suppresses everything.
+	code, stdout, stderr = runCLI(t, "-baseline", path, "-C", seededDir, ".")
+	if code != 0 {
+		t.Fatalf("baselined run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run still printed findings: %q", stdout)
+	}
+}
+
+func TestWriteBaselineIncompatibleWithBaseline(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t,
+		"-write-baseline", filepath.Join(dir, "new.json"),
+		"-baseline", filepath.Join(dir, "old.json"), ".")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "cannot be combined with -baseline") {
+		t.Errorf("stderr %q does not explain the flag conflict", stderr)
+	}
+}
+
 func TestUnusedIgnoresFlagsStaleDirective(t *testing.T) {
 	code, stdout, _ := runCLI(t, "-unused-ignores", "-C", "testdata/unusedignore", ".")
 	if code != 1 {

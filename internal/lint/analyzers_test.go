@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestAtomicMix(t *testing.T)   { runAnalyzerTest(t, AtomicMix, "atomicmix") }
 func TestOwnerOnly(t *testing.T)   { runAnalyzerTest(t, OwnerOnly, "owneronly") }
@@ -10,6 +13,7 @@ func TestOwnerEscape(t *testing.T) { runAnalyzerTest(t, OwnerEscape, "ownerescap
 func TestHandshake(t *testing.T)   { runAnalyzerTest(t, Handshake, "handshake") }
 func TestMustCheck(t *testing.T)   { runAnalyzerTest(t, MustCheck, "mustcheck") }
 func TestTagABA(t *testing.T)      { runAnalyzerTest(t, TagABA, "tagaba") }
+func TestAbpRace(t *testing.T)     { runAnalyzerTest(t, AbpRace, "abprace") }
 
 // TestSeededPR1Bug replays, in miniature, the discarded-PushBottom bug that
 // PR 1 fixed in sched.(*Pool).submitRoot and asserts that mustcheck now
@@ -33,6 +37,42 @@ func TestSeededPR1Bug(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("mustcheck reported nothing on the seeded PR-1 bug: the submitRoot deadlock class would ship again")
+	}
+}
+
+// TestSeededRace replays the PR 1 Pool.Stats plain-counter race and
+// asserts abprace reports it with both goroutine provenance chains: the
+// worker loop's call chain and the external caller's. The explicit checks
+// below keep the fixture from degrading into a vacuously passing one.
+func TestSeededRace(t *testing.T) {
+	runAnalyzerTest(t, AbpRace, "seededrace")
+
+	pkgs, err := NewLoader().Load("testdata/src/seededrace", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(AbpRace, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			total++
+			for _, wantSub := range []string{
+				"goroutine (*Worker).loop",
+				"(*Worker).loop -> (*Worker).record",
+				"external caller",
+				"(*Pool).Stats",
+			} {
+				if !strings.Contains(d.Message, wantSub) {
+					t.Errorf("finding lacks provenance %q:\n%s", wantSub, d.Message)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("abprace reported nothing on the seeded Pool.Stats race: the PR-1 stats bug class would ship again")
 	}
 }
 

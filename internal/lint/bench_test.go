@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// BenchmarkAbpvet times the full analyzer suite over the repository's own
+// packages — the flow engine's real workload — so regressions in CFG,
+// call-graph, or goroutine-inference cost show up in the perf trajectory
+// alongside the scheduler benchmarks. Loading and type-checking happen
+// once outside the timer: the subject is analysis, not `go list`.
+func BenchmarkAbpvet(b *testing.B) {
+	pkgs, err := NewLoader().Load("../..", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			if pkg.Standard {
+				continue
+			}
+			ignores := CollectIgnores(pkg)
+			for _, a := range All() {
+				if _, err := RunWith(a, pkg, ignores); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

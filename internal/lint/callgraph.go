@@ -76,6 +76,11 @@ func (k callKind) String() string {
 type callEdge struct {
 	to   *funcNode
 	kind callKind
+	// site is the block-level statement or expression performing the call
+	// (the *ast.GoStmt / *ast.DeferStmt for go/defer edges, the
+	// *ast.CallExpr otherwise), so interprocedural clients can ask the
+	// caller's CFG ordering questions about the edge.
+	site ast.Node
 }
 
 // A callGraph is the package-level call graph: one node per declaration and
@@ -135,13 +140,13 @@ func (g *callGraph) walk(from *funcNode, n ast.Node) {
 			g.walk(child, x.Body)
 			return false
 		case *ast.GoStmt:
-			g.handleCall(from, x.Call, callGo)
+			g.handleCall(from, x.Call, callGo, x)
 			return false
 		case *ast.DeferStmt:
-			g.handleCall(from, x.Call, callDefer)
+			g.handleCall(from, x.Call, callDefer, x)
 			return false
 		case *ast.CallExpr:
-			g.handleCall(from, x, callStatic)
+			g.handleCall(from, x, callStatic, x)
 			return false
 		}
 		return true
@@ -158,15 +163,25 @@ func (g *callGraph) addLit(lit *ast.FuncLit, parent *funcNode) *funcNode {
 	return n
 }
 
-func (g *callGraph) handleCall(from *funcNode, call *ast.CallExpr, kind callKind) {
+func (g *callGraph) handleCall(from *funcNode, call *ast.CallExpr, kind callKind, site ast.Node) {
 	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
 		child := g.addLit(lit, from)
-		g.edges[from] = append(g.edges[from], callEdge{to: child, kind: kind})
+		g.edges[from] = append(g.edges[from], callEdge{to: child, kind: kind, site: site})
 		g.walk(child, lit.Body)
 	} else {
 		if fn := calleeFunc(g.info, call); fn != nil {
 			if to, ok := g.declNode[fn]; ok {
-				g.edges[from] = append(g.edges[from], callEdge{to: to, kind: kind})
+				g.edges[from] = append(g.edges[from], callEdge{to: to, kind: kind, site: site})
+			}
+			// sync.Once.Do invokes its argument synchronously on the
+			// calling goroutine (at most once, under the Once's mutual
+			// exclusion), so a literal passed to it is a static callee,
+			// not an escaping value.
+			if isOnceDo(fn) && len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					child := g.addLit(lit, from)
+					g.edges[from] = append(g.edges[from], callEdge{to: child, kind: callStatic, site: site})
+				}
 			}
 		}
 		// The callee expression itself may contain calls or literals
@@ -287,6 +302,24 @@ func isCASShaped(fn *types.Func) bool {
 	sig := fn.Type().(*types.Signature)
 	res := sig.Results()
 	return res.Len() == 1 && isBool(res.At(0).Type())
+}
+
+// isOnceDo reports whether fn is (*sync.Once).Do.
+func isOnceDo(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Do" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Once"
 }
 
 func isBool(t types.Type) bool {

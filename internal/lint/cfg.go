@@ -40,7 +40,8 @@ type funcCFG struct {
 	nodeBlock map[ast.Node]*block
 	nodeIndex map[ast.Node]int
 
-	dom [][]bool // dom[i][j]: block j dominates block i (lazily built)
+	dom   [][]bool // dom[i][j]: block j dominates block i (lazily built)
+	reach [][]bool // reach[i][j]: an edge path leads from block i to j (lazy)
 }
 
 // buildCFG constructs the CFG of body. It never returns nil: an empty body
@@ -430,6 +431,49 @@ func (g *funcCFG) dominates(a, b ast.Node) bool {
 		return g.nodeIndex[a] < g.nodeIndex[b]
 	}
 	return g.dominators()[bb.index][ba.index]
+}
+
+// reachability lazily computes the successor-transitive closure:
+// reachability()[i][j] holds when a path of at least one edge leads from
+// block i to block j (so reach[i][i] means block i lies on a cycle).
+func (g *funcCFG) reachability() [][]bool {
+	if g.reach != nil {
+		return g.reach
+	}
+	n := len(g.blocks)
+	reach := make([][]bool, n)
+	for i, blk := range g.blocks {
+		reach[i] = make([]bool, n)
+		frontier := append([]*block(nil), blk.succs...)
+		for len(frontier) > 0 {
+			s := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if reach[i][s.index] {
+				continue
+			}
+			reach[i][s.index] = true
+			frontier = append(frontier, s.succs...)
+		}
+	}
+	g.reach = reach
+	return reach
+}
+
+// canReach reports whether control can flow from block node a to block node
+// b — that is, some execution runs b after a. Within one block the node
+// order decides (later nodes are reachable; earlier ones only when the
+// block lies on a cycle). Nodes the CFG did not index are conservatively
+// reachable both ways: absence of ordering evidence is not an ordering.
+func (g *funcCFG) canReach(a, b ast.Node) bool {
+	ba, oka := g.nodeBlock[a]
+	bb, okb := g.nodeBlock[b]
+	if !oka || !okb {
+		return true
+	}
+	if ba == bb && g.nodeIndex[a] < g.nodeIndex[b] {
+		return true
+	}
+	return g.reachability()[ba.index][bb.index]
 }
 
 // blockNodeAt returns the block node lexically containing pos, or nil. A

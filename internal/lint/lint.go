@@ -20,12 +20,14 @@
 //	                   any function it (transitively, statically) calls.
 //	//abp:nonblocking  the function must not perform blocking operations.
 //
-// And one takes findings out of scope:
+// And two take findings out of scope:
 //
 //	//abp:ignore <analyzer> <justification>
+//	//abp:race-ignore <justification>
 //
-// placed on (or on the line directly above) the flagged line. The
-// justification text is mandatory: a bare ignore does not suppress.
+// placed on (or on the line directly above) the flagged line. The second
+// form is shorthand scoped to the abprace analyzer. The justification text
+// is mandatory in both: a bare ignore does not suppress.
 package lint
 
 import (
@@ -71,10 +73,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// All returns the abpvet analyzer suite: PR 2's four syntactic analyzers
-// plus PR 3's four flow-aware ones, in alphabetical order.
+// All returns the abpvet analyzer suite: PR 2's four syntactic analyzers,
+// PR 3's four flow-aware ones, and PR 4's whole-package race detector, in
+// alphabetical order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
+	return []*Analyzer{AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings,
@@ -116,13 +119,18 @@ type ignoreKey struct {
 	analyzer string
 }
 
-// An IgnoreDirective is one justified //abp:ignore comment.
+// An IgnoreDirective is one justified //abp:ignore or //abp:race-ignore
+// comment.
 type IgnoreDirective struct {
 	Pos      token.Pos
 	File     string
 	Line     int
 	Analyzer string
-	used     bool
+	// Form is the directive as written ("//abp:ignore casloop" or
+	// "//abp:race-ignore"), so unused-ignore findings quote the right
+	// spelling.
+	Form string
+	used bool
 }
 
 // Ignores indexes a package's //abp:ignore directives and records which of
@@ -132,26 +140,33 @@ type Ignores struct {
 	all   []*IgnoreDirective
 }
 
-// CollectIgnores indexes every justified //abp:ignore directive by the file
-// and line it appears on. Directives without a justification are inert and
-// not indexed (and so can never be reported as unused either: they already
-// do not suppress).
+// CollectIgnores indexes every justified //abp:ignore and //abp:race-ignore
+// directive by the file and line it appears on. Directives without a
+// justification are inert and not indexed (and so can never be reported as
+// unused either: they already do not suppress).
 func CollectIgnores(pkg *Package) *Ignores {
 	ig := &Ignores{byKey: map[ignoreKey]*IgnoreDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//abp:ignore")
-				if !ok {
+				var analyzer, form string
+				if rest, ok := strings.CutPrefix(c.Text, "//abp:race-ignore"); ok {
+					if len(strings.Fields(rest)) < 1 {
+						continue // no justification: directive is inert
+					}
+					analyzer, form = AbpRace.Name, "//abp:race-ignore"
+				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:ignore"); ok {
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue // no justification: directive is inert
+					}
+					analyzer, form = fields[0], "//abp:ignore "+fields[0]
+				} else {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // no justification: directive is inert
-				}
 				pos := pkg.Fset.Position(c.Pos())
-				d := &IgnoreDirective{Pos: c.Pos(), File: pos.Filename, Line: pos.Line, Analyzer: fields[0]}
-				ig.byKey[ignoreKey{pos.Filename, pos.Line, fields[0]}] = d
+				d := &IgnoreDirective{Pos: c.Pos(), File: pos.Filename, Line: pos.Line, Analyzer: analyzer, Form: form}
+				ig.byKey[ignoreKey{pos.Filename, pos.Line, analyzer}] = d
 				ig.all = append(ig.all, d)
 			}
 		}

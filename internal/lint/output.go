@@ -175,12 +175,13 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
-// WriteSARIF writes the findings as a SARIF 2.1.0 log. analyzers supplies
-// the rule catalog (every analyzer that ran, found something or not, plus
-// the synthetic unused-ignore rule when the caller includes it).
-func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+// WriteSARIF writes the findings as a SARIF 2.1.0 log under the given tool
+// name. analyzers supplies the rule catalog (every analyzer that ran, found
+// something or not, plus the synthetic unused-ignore rule when the caller
+// includes it).
+func WriteSARIF(w io.Writer, tool string, analyzers []*Analyzer, findings []Finding) error {
 	driver := sarifDriver{
-		Name:  "abpvet",
+		Name:  tool,
 		Rules: make([]sarifRule, 0, len(analyzers)),
 	}
 	for _, a := range analyzers {
@@ -225,12 +226,16 @@ var UnusedIgnoreAnalyzer = &Analyzer{
 // UnusedIgnoreFinding converts a stale directive into a Finding under the
 // unused-ignore rule.
 func UnusedIgnoreFinding(d *IgnoreDirective, root string) Finding {
+	form := d.Form
+	if form == "" {
+		form = "//abp:ignore " + d.Analyzer
+	}
 	return Finding{
 		Analyzer: UnusedIgnoreAnalyzer.Name,
 		File:     relPath(root, d.File),
 		Line:     d.Line,
 		Column:   1,
-		Message: fmt.Sprintf("//abp:ignore %s suppresses nothing: delete the stale directive before it hides a future regression",
-			d.Analyzer),
+		Message: fmt.Sprintf("%s suppresses nothing: delete the stale directive before it hides a future regression",
+			form),
 	}
 }

@@ -126,7 +126,7 @@ func TestWriteSARIFShape(t *testing.T) {
 		{Analyzer: "tagaba", File: "internal/deque/deque.go", Line: 5, Column: 3, Message: "aba"},
 	}
 	var buf bytes.Buffer
-	if err := WriteSARIF(&buf, All(), findings); err != nil {
+	if err := WriteSARIF(&buf, "abpvet", All(), findings); err != nil {
 		t.Fatal(err)
 	}
 	var log sarifLog

@@ -1,0 +1,49 @@
+// Package seededrace replays, in miniature, the plain-counter Pool.Stats
+// race PR 1 fixed in internal/sched: worker goroutines bump per-worker
+// counters through a call chain while the external Stats reader sums them
+// with no ordering whatsoever. abprace must catch this class mechanically,
+// and must print both goroutine provenance chains — the worker loop's and
+// the external caller's — so the report names the two racing parties.
+package seededrace
+
+// A Pool owns a set of workers, each running loop on its own goroutine.
+type Pool struct {
+	workers []*Worker
+}
+
+// A Worker counts its steal attempts — in a plain int, the PR 1 bug.
+type Worker struct {
+	steals int
+}
+
+// New starts n workers.
+func New(n int) *Pool {
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		w := &Worker{}
+		p.workers = append(p.workers, w)
+		go w.loop()
+	}
+	return p
+}
+
+// Stats sums the counters while the workers still run: the racing read.
+func (p *Pool) Stats() int {
+	total := 0
+	for _, w := range p.workers {
+		total += w.steals // want `possible data race on field steals`
+	}
+	return total
+}
+
+// loop is the worker body; record is a separate hop so the provenance
+// chain the analyzer prints is more than a single frame.
+func (w *Worker) loop() {
+	for {
+		w.record()
+	}
+}
+
+func (w *Worker) record() {
+	w.steals++
+}
