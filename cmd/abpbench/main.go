@@ -11,6 +11,8 @@
 //	abpbench -experiment ablation
 //	abpbench -experiment tasks -stats
 //	abpbench -experiment idle
+//	abpbench -experiment chaos
+//	abpbench -experiment chaos -faults 'deque.popTop.beforeCAS=delay:p=0.01:d=200us'
 package main
 
 import (
@@ -29,10 +31,11 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle")
+		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos")
 		nodeWork = flag.Int("nodework", 2000, "synthetic work per dag node (spin iterations)")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (best time kept)")
 		stats    = flag.Bool("stats", false, "print the scheduler counter table (parks, wakes, backoff, ...) after pool experiments")
+		faults   = flag.String("faults", "", "fault spec to arm for -experiment chaos (default: the ABP_FAULTS environment variable)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,8 @@ func main() {
 		contention(*nodeWork, *reps)
 	case "idle":
 		idleOverhead(*reps)
+	case "chaos":
+		chaos(*reps, *faults, *stats)
 	default:
 		fmt.Fprintf(os.Stderr, "abpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,6 +1,21 @@
 package deque
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"worksteal/internal/fault"
+)
+
+// Failpoints mirroring the ABP ones at the Chase-Lev instruction
+// boundaries (internal/fault, DESIGN.md §9).
+var (
+	fpCLPushBottomAfterStore = fault.Register("chaselev.pushBottom.afterStore",
+		"Chase-Lev pushBottom: element stored, new bottom not yet published")
+	fpCLPopTopBeforeCAS = fault.Register("chaselev.popTop.beforeCAS",
+		"Chase-Lev popTop: top and element loaded, CAS not yet issued")
+	fpCLPopBottomBeforeCAS = fault.Register("chaselev.popBottom.beforeCAS",
+		"Chase-Lev popBottom: racing thieves for the last item, CAS not yet issued")
+)
 
 // ChaseLev is the dynamic circular work-stealing deque of Chase and Lev
 // (SPAA 2005), the direct successor of the ABP deque implemented here as
@@ -80,6 +95,7 @@ func (d *ChaseLev[T]) PushBottom(node *T) bool {
 		d.array.Store(a)
 	}
 	a.put(b, node)
+	fault.Point(fpCLPushBottomAfterStore)
 	d.bottom.Store(b + 1)
 	return true
 }
@@ -102,6 +118,7 @@ func (d *ChaseLev[T]) PopBottom() *T {
 		return node // more than one item: no race possible
 	}
 	// Single item: race thieves for it by advancing top.
+	fault.Point(fpCLPopBottomBeforeCAS)
 	if !d.top.CompareAndSwap(t, t+1) {
 		node = nil // a thief won
 	}
@@ -121,6 +138,7 @@ func (d *ChaseLev[T]) PopTop() *T {
 	}
 	a := d.array.Load()
 	node := a.get(t)
+	fault.Point(fpCLPopTopBeforeCAS)
 	if !d.top.CompareAndSwap(t, t+1) {
 		return nil
 	}

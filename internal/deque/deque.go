@@ -26,6 +26,22 @@ package deque
 import (
 	"fmt"
 	"sync/atomic"
+
+	"worksteal/internal/fault"
+)
+
+// Failpoints compiled into the Figure 5 hot paths (internal/fault,
+// DESIGN.md §9). Each sits at the instruction boundary where an
+// adversarial kernel stall is most interesting; the chaos tests freeze a
+// goroutine there and check that every other process keeps completing its
+// own operations — the paper's non-blocking property, exercised natively.
+var (
+	fpPushBottomAfterStore = fault.Register("deque.pushBottom.afterStore",
+		"ABP pushBottom: element stored, new bottom not yet published")
+	fpPopTopBeforeCAS = fault.Register("deque.popTop.beforeCAS",
+		"ABP popTop: age and bottom loaded, CAS not yet issued (the E8 stall window)")
+	fpPopBottomBeforeCAS = fault.Register("deque.popBottom.beforeCAS",
+		"ABP popBottom: racing thieves for the last item, CAS not yet issued")
 )
 
 // DefaultCapacity is the bound used by New.
@@ -110,6 +126,7 @@ func (d *Deque[T]) PushBottom(node *T) bool {
 		return false
 	}
 	d.deq[localBot].Store(node) // store node -> deq[localBot]
+	fault.Point(fpPushBottomAfterStore)
 	localBot++
 	d.bot.Store(localBot) // store localBot -> bot
 	return true
@@ -128,8 +145,9 @@ func (d *Deque[T]) PopTop() *T {
 	if localBot <= oldTop { // deque empty
 		return nil
 	}
-	node := d.deq[oldTop].Load()              // load node <- deq[oldAge.top]
-	newAge := packAge(oldTag, oldTop+1)       // newAge.top++
+	node := d.deq[oldTop].Load()        // load node <- deq[oldAge.top]
+	newAge := packAge(oldTag, oldTop+1) // newAge.top++
+	fault.Point(fpPopTopBeforeCAS)
 	if d.age.CompareAndSwap(oldAge, newAge) { // cas(age, oldAge, newAge)
 		return node
 	}
@@ -159,6 +177,7 @@ func (d *Deque[T]) PopBottom() *T {
 	newAge := packAge(oldTag+1, 0) // newAge = (tag+1, top=0)
 	if localBot == oldTop {
 		// Exactly one item: race the thieves for it with a CAS.
+		fault.Point(fpPopBottomBeforeCAS)
 		if d.age.CompareAndSwap(oldAge, newAge) {
 			return node
 		}

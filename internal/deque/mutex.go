@@ -1,6 +1,18 @@
 package deque
 
-import "sync"
+import (
+	"sync"
+
+	"worksteal/internal/fault"
+)
+
+// fpMutexPopTopLocked sits inside PopTop's critical section: a goroutine
+// suspended here holds the deque's mutex, so every other process that
+// touches this deque blocks behind it — the falsifying control for the
+// non-blocking chaos tests (the paper's §6 claim is exactly that a locking
+// deque collapses under such a stall while the ABP deque does not).
+var fpMutexPopTopLocked = fault.Register("mutexdeque.popTop.locked",
+	"mutex popTop: inside the critical section, lock held (falsifying control)")
 
 // Dequer is the common interface of the work-stealing deques in this
 // package: the non-blocking ABP Deque and the lock-based MutexDeque used as
@@ -77,6 +89,7 @@ func (d *MutexDeque[T]) PopBottom() *T {
 func (d *MutexDeque[T]) PopTop() *T {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	fault.Point(fpMutexPopTopLocked)
 	if len(d.items) == 0 {
 		return nil
 	}

@@ -1,0 +1,303 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledPointIsNoOp(t *testing.T) {
+	Reset()
+	Point("never.armed") // must not panic, block, or count
+	if Hits("never.armed") != 0 {
+		t.Fatal("disabled point counted a hit")
+	}
+}
+
+func TestArmedUnrelatedPointPassesThrough(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("some.other.point", Rule{Action: ActionPanic})
+	Point("this.one") // armed != 0, but no rule for this name
+	if got := Hits("this.one"); got != 0 {
+		t.Fatalf("Hits = %d for an unarmed name", got)
+	}
+}
+
+func TestOneShotPanic(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Rule{Action: ActionPanic, OneShot: true})
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(InjectedPanic)
+			if !ok || ip.Point != "p" {
+				t.Fatalf("recovered %#v, want InjectedPanic{p}", r)
+			}
+			if ip.Error() == "" {
+				t.Fatal("empty InjectedPanic message")
+			}
+		}()
+		Point("p")
+	}()
+	Point("p") // one-shot: second hit must not fire
+	if got, want := Hits("p"), int64(2); got != want {
+		t.Fatalf("Hits = %d, want %d", got, want)
+	}
+	if got := Fired("p"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestTimesCapsFiring(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("t", Rule{Action: ActionYield, Times: 3})
+	for i := 0; i < 10; i++ {
+		Point("t")
+	}
+	if got := Fired("t"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("n", Rule{Action: ActionYield, EveryNth: 4})
+	for i := 0; i < 9; i++ {
+		Point("n")
+	}
+	// Hits 1, 5, 9 are eligible.
+	if got := Fired("n"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestProbabilityDeterministicPerSeed(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func(seed int64) int64 {
+		Enable("prob", Rule{Action: ActionYield, Prob: 0.3, Seed: seed})
+		for i := 0; i < 200; i++ {
+			Point("prob")
+		}
+		defer Disable("prob")
+		return Fired("prob")
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed fired %d then %d times", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("p=0.3 fired %d of 200 (degenerate)", a)
+	}
+	if c := run(43); c == a {
+		t.Logf("different seeds fired identically (%d); possible but unusual", c)
+	}
+}
+
+func TestSuspendAndResume(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("s", Rule{Action: ActionSuspend, OneShot: true})
+	released := make(chan struct{})
+	go func() {
+		Point("s")
+		close(released)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for Suspended("s") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutine never suspended")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-released:
+		t.Fatal("suspended goroutine ran before Resume")
+	case <-time.After(20 * time.Millisecond):
+	}
+	Resume("s")
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Resume did not release the goroutine")
+	}
+	if Suspended("s") != 0 {
+		t.Fatal("Suspended != 0 after release")
+	}
+	Point("s") // after Resume, further suspend fires pass through
+}
+
+func TestResetReleasesSuspended(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("r", Rule{Action: ActionSuspend})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Point("r")
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for Suspended("r") != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("suspended %d of 3", Suspended("r"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	Reset()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Reset did not release suspended goroutines")
+	}
+}
+
+func TestReEnableReleasesOldSuspensions(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("re", Rule{Action: ActionSuspend})
+	done := make(chan struct{})
+	go func() {
+		Point("re")
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for Suspended("re") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("never suspended")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	Enable("re", Rule{Action: ActionYield}) // re-arm: must release the old window
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-Enable stranded a suspended goroutine")
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("d", Rule{Action: ActionDelay, Delay: 30 * time.Millisecond, OneShot: true})
+	start := time.Now()
+	Point("d")
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delay action returned after %v", elapsed)
+	}
+}
+
+func TestEnableValidatesProb(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p > 1")
+		}
+	}()
+	Enable("bad", Rule{Prob: 1.5})
+}
+
+func TestRegisterAndCatalog(t *testing.T) {
+	name := Register("test.catalog.point", "a test point")
+	if name != "test.catalog.point" {
+		t.Fatalf("Register returned %q", name)
+	}
+	for _, p := range Catalog() {
+		if p.Name == "test.catalog.point" && p.Desc == "a test point" {
+			return
+		}
+	}
+	t.Fatal("registered point missing from Catalog")
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionDelay: "delay", ActionYield: "yield",
+		ActionPanic: "panic", ActionSuspend: "suspend", Action(9): "Action(9)",
+	} {
+		if got := a.String(); got != want {
+			t.Fatalf("Action.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rs, err := ParseSpec("a.b=suspend:oneshot; c.d=delay:d=250us:p=0.25:seed=9 ;e.f=yield:nth=3:times=2;g.h=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rs))
+	}
+	if r := rs["a.b"]; r.Action != ActionSuspend || !r.OneShot {
+		t.Fatalf("a.b = %+v", r)
+	}
+	if r := rs["c.d"]; r.Action != ActionDelay || r.Delay != 250*time.Microsecond || r.Prob != 0.25 || r.Seed != 9 {
+		t.Fatalf("c.d = %+v", r)
+	}
+	if r := rs["e.f"]; r.Action != ActionYield || r.EveryNth != 3 || r.Times != 2 {
+		t.Fatalf("e.f = %+v", r)
+	}
+	if r := rs["g.h"]; r.Action != ActionPanic {
+		t.Fatalf("g.h = %+v", r)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"=suspend",
+		"a.b=explode",
+		"a.b=delay:d=notaduration",
+		"a.b=delay:p=2.0",
+		"a.b=yield:wat=1",
+		"a.b=yield:times=x",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestEnableSpecArmsAll(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := EnableSpec("x.y=yield;z.w=yield:nth=2"); err != nil {
+		t.Fatal(err)
+	}
+	Point("x.y")
+	Point("z.w")
+	if Fired("x.y") != 1 || Fired("z.w") != 1 {
+		t.Fatalf("fired x.y=%d z.w=%d, want 1 and 1", Fired("x.y"), Fired("z.w"))
+	}
+	if err := EnableSpec("broken"); err == nil {
+		t.Fatal("EnableSpec accepted a broken spec")
+	}
+}
+
+func TestConcurrentHitsAreSafe(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("conc", Rule{Action: ActionYield, Prob: 0.5, EveryNth: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Point("conc")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("conc"); got != 8000 {
+		t.Fatalf("Hits = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fault
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead gate skips itself under -race (see TestDisabledPointOverheadGate).
+const raceEnabled = false

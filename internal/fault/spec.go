@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable cmd/abpbench consults for a fault
+// spec, so chaos configurations can be injected into a binary without
+// touching its flags (e.g. ABP_FAULTS='deque.popTop.beforeCAS=delay:d=50us:p=0.1').
+const EnvVar = "ABP_FAULTS"
+
+// ParseSpec parses a textual fault specification into rules. The grammar:
+//
+//	spec   := rule (';' rule)*
+//	rule   := point '=' action (':' opt)*
+//	action := "delay" | "yield" | "panic" | "suspend"
+//	opt    := "oneshot" | "times=N" | "nth=N" | "p=F" | "seed=N" | "d=DUR"
+//
+// For example:
+//
+//	deque.popTop.beforeCAS=suspend:oneshot
+//	sched.loop.beforeSteal=delay:d=200us:p=0.05:seed=7;sched.park.beforeSleep=yield:nth=3
+//
+// Point names are not validated against the catalog: a spec may name a
+// point compiled into a build the parser has never seen. Use Catalog to
+// list the points this binary actually contains.
+func ParseSpec(spec string) (map[string]Rule, error) {
+	out := map[string]Rule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fault: bad clause %q: want point=action[:opt...]", clause)
+		}
+		parts := strings.Split(rest, ":")
+		var r Rule
+		switch strings.TrimSpace(parts[0]) {
+		case "delay":
+			r.Action = ActionDelay
+		case "yield":
+			r.Action = ActionYield
+		case "panic":
+			r.Action = ActionPanic
+		case "suspend":
+			r.Action = ActionSuspend
+		default:
+			return nil, fmt.Errorf("fault: %s: unknown action %q", name, parts[0])
+		}
+		for _, opt := range parts[1:] {
+			opt = strings.TrimSpace(opt)
+			key, val, _ := strings.Cut(opt, "=")
+			var err error
+			switch key {
+			case "oneshot":
+				r.OneShot = true
+			case "times":
+				r.Times, err = strconv.Atoi(val)
+			case "nth":
+				r.EveryNth, err = strconv.Atoi(val)
+			case "p":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+					err = fmt.Errorf("probability %v out of [0,1]", r.Prob)
+				}
+			case "seed":
+				r.Seed, err = strconv.ParseInt(val, 10, 64)
+			case "d":
+				r.Delay, err = time.ParseDuration(val)
+			default:
+				err = fmt.Errorf("unknown option %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: option %q: %v", name, opt, err)
+			}
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// EnableSpec parses spec and arms every rule in it. On a parse error
+// nothing is armed.
+func EnableSpec(spec string) error {
+	rs, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	for name, r := range rs {
+		Enable(name, r)
+	}
+	return nil
+}

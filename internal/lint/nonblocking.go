@@ -21,16 +21,28 @@ import (
 //   - select statements without a default case (a select WITH default never
 //     blocks, and its immediate communication clauses are exempt — this is
 //     the idiomatic non-blocking try-send used by the wake protocol);
-//   - time.Sleep.
+//   - time.Sleep;
+//   - any call into the fault-injection registry (worksteal/internal/fault)
+//     other than fault.Point. A disabled fault.Point is a single atomic
+//     load, cheap and non-blocking by construction, so instrumenting a hot
+//     path does not void its annotation; every other function in that
+//     package takes the registry lock (or, when armed, sleeps, panics, or
+//     suspends) and has no business inside a non-blocking operation. The
+//     fault package itself is exempt — Point's armed slow path is the
+//     documented, deliberate suspension of the property.
 //
 // The check is not transitive: a call to an unannotated helper is not
 // inspected. Annotate the helper too — the directive doubles as the audit
 // trail for which functions the claim covers.
 var NonBlocking = &Analyzer{
 	Name: "nonblocking",
-	Doc:  "forbids blocking operations (mutexes, channel ops, bare select, time.Sleep) inside //abp:nonblocking functions",
+	Doc:  "forbids blocking operations (mutexes, channel ops, bare select, time.Sleep, non-Point fault calls) inside //abp:nonblocking functions",
 	Run:  runNonBlocking,
 }
+
+// faultPkgPath is the failpoint framework; fault.Point is the one call from
+// it permitted inside //abp:nonblocking functions.
+const faultPkgPath = "worksteal/internal/fault"
 
 var blockingSyncMethods = map[string]bool{
 	"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true, "Wait": true,
@@ -87,6 +99,9 @@ func runNonBlocking(pass *Pass) error {
 					pass.Reportf(n.Pos(), "time.Sleep in //abp:nonblocking function %s", name)
 				case fn.Pkg().Path() == "sync" && sig.Recv() != nil && blockingSyncMethods[fn.Name()]:
 					pass.Reportf(n.Pos(), "sync.%s in //abp:nonblocking function %s", fn.Name(), name)
+				case fn.Pkg().Path() == faultPkgPath && pass.Pkg.Path() != faultPkgPath &&
+					!(sig.Recv() == nil && fn.Name() == "Point"):
+					pass.Reportf(n.Pos(), "fault.%s in //abp:nonblocking function %s (only fault.Point is permitted: its disabled fast path is one atomic load)", fn.Name(), name)
 				}
 			}
 			return true

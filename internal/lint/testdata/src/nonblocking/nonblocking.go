@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"worksteal/internal/fault"
 )
 
 // trySignal is the idiomatic non-blocking wake-up: accepted in full.
@@ -47,6 +49,29 @@ func viaClosure(ch chan int) func() {
 	}
 }
 
+// instrumented shows the permitted failpoint idiom: a disabled fault.Point
+// is a single atomic load, so hot paths may carry it without voiding the
+// annotation.
+//
+//abp:nonblocking
+func instrumented(n *atomic.Int64) {
+	fault.Point("fixture.instrumented.hot") // accepted: the disabled fast path
+	n.Add(1)
+}
+
+// armsFaults calls into the fault registry proper, which takes the registry
+// lock (and, when armed, may sleep or suspend): everything but Point is
+// flagged.
+//
+//abp:nonblocking
+func armsFaults() {
+	fault.Enable("fixture.point", fault.Rule{Action: fault.ActionYield}) // want `fault.Enable in //abp:nonblocking function armsFaults`
+	fault.Point("fixture.point")
+	_ = fault.Suspended("fixture.point") // want `fault.Suspended in //abp:nonblocking function armsFaults`
+	fault.Resume("fixture.point")        // want `fault.Resume in //abp:nonblocking function armsFaults`
+	fault.Reset()                        // want `fault.Reset in //abp:nonblocking function armsFaults`
+}
+
 // unannotated functions may block freely.
 func unannotated(mu *sync.Mutex, ch chan int) {
 	mu.Lock()
@@ -58,3 +83,5 @@ var _ = trySignal
 var _ = blocker
 var _ = viaClosure
 var _ = unannotated
+var _ = instrumented
+var _ = armsFaults

@@ -1,0 +1,412 @@
+// Chaos tests: the dynamic counterpart of the paper's non-blocking claim
+// (§1, §3.2, §6) and of the simulator's adversary experiment (E8). Each
+// test arms a failpoint (internal/fault) compiled into a hot path, freezes
+// or crashes a real worker goroutine at a real instruction boundary, and
+// asserts the property the paper promises: no stalled process can prevent
+// the others from finishing. The mutex-deque control test shows the same
+// adversary *does* wedge a blocking implementation, so the suite would
+// catch a regression that quietly reintroduced blocking.
+package sched
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"worksteal/internal/fault"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes, failing the test (after a fault.Reset so no worker stays
+// stranded) on timeout.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			fault.Reset()
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+var chaosSink atomic.Uint64
+
+// chaosSpin burns a little CPU so benchmark tasks are not pure counter
+// increments.
+func chaosSpin(n int) {
+	x := uint64(2463534242)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	chaosSink.Store(x)
+}
+
+// The headline chaos test: suspend a thief between loading age and issuing
+// the CAS inside popTop — the exact window the paper's adversary argument
+// targets — and assert every task still completes while the thief stays
+// frozen. Runs against both non-blocking deques.
+func TestChaosSuspendedThiefMidPopTop(t *testing.T) {
+	cases := []struct {
+		name  string
+		kind  DequeKind
+		point string // registered in internal/deque
+	}{
+		{"ABP", DequeABP, "deque.popTop.beforeCAS"},
+		{"ChaseLev", DequeChaseLev, "chaselev.popTop.beforeCAS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer fault.Reset()
+			fault.Enable(tc.point, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+			const tasks = 2000
+			p := New(Config{Workers: 4, Deque: tc.kind})
+			var count atomic.Int64
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				p.Run(func(w *Worker) {
+					g := NewGroup()
+					for i := 0; i < tasks; i++ {
+						g.Spawn(w, func(*Worker) {
+							chaosSpin(100)
+							count.Add(1)
+						})
+					}
+					// Don't help until the trap has sprung: with the root
+					// refusing to pop, the idle workers must steal from its
+					// full deque, and the first popTop that sees an item
+					// freezes. (Without this gate the root can drain all
+					// 2000 trivial tasks before the thief goroutines are
+					// even scheduled, and no steal ever hits the point.)
+					for fault.Fired(tc.point) == 0 {
+						time.Sleep(100 * time.Microsecond)
+					}
+					g.Wait(w)
+				})
+			}()
+			// The claim under test: with one worker frozen mid-popTop, the
+			// remaining workers drain all the work. Both facts must hold at
+			// once — the victim suspended AND every task executed.
+			waitFor(t, 20*time.Second, "all tasks done while a thief is frozen mid-popTop", func() bool {
+				return fault.Suspended(tc.point) == 1 && count.Load() == tasks
+			})
+			// Only now release the thief so the run can terminate (wg.Wait
+			// needs every worker goroutine to exit).
+			fault.Resume(tc.point)
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("run did not terminate after resuming the frozen thief")
+			}
+			if count.Load() != tasks {
+				t.Fatalf("ran %d of %d tasks", count.Load(), tasks)
+			}
+		})
+	}
+}
+
+// The falsifying control: the same adversary against the mutex deque. A
+// thief suspended inside PopTop holds the victim's lock, so the victim's
+// own pushes and pops wedge behind it — progress provably freezes until
+// the thief is resumed. This is what the non-blocking deques are for; if
+// this test ever starts passing the progress check, the control is broken.
+func TestChaosMutexDequeControlStalls(t *testing.T) {
+	defer fault.Reset()
+	const pt = "mutexdeque.popTop.locked" // registered in internal/deque
+	fault.Enable(pt, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	const tasks = 500
+	p := New(Config{Workers: 2, Deque: DequeMutex})
+	var count atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(func(w *Worker) {
+			// Produce nothing until the thief is frozen inside PopTop —
+			// while it holds this worker's deque mutex. (Fired, not
+			// Suspended: the suspension may already be over if the test's
+			// Resume won a race, and Fired stays up.)
+			for fault.Fired(pt) == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			g := NewGroup()
+			for i := 0; i < tasks; i++ {
+				g.Spawn(w, func(*Worker) { count.Add(1) })
+			}
+			g.Wait(w)
+		})
+	}()
+	waitFor(t, 10*time.Second, "thief suspended inside the locked PopTop", func() bool {
+		return fault.Suspended(pt) == 1
+	})
+	time.Sleep(100 * time.Millisecond) // let the producer run into the held lock
+	c1 := count.Load()
+	time.Sleep(250 * time.Millisecond)
+	c2 := count.Load()
+	if c1 != c2 || c2 == tasks {
+		t.Fatalf("mutex-deque pool made progress (%d -> %d of %d) with a thief frozen holding the lock; the blocking control no longer blocks", c1, c2, tasks)
+	}
+	fault.Resume(pt)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not complete after resuming the lock-holding thief")
+	}
+	if count.Load() != tasks {
+		t.Fatalf("ran %d of %d tasks after resume", count.Load(), tasks)
+	}
+}
+
+// A panic raised by the loop machinery itself — outside exec's per-task
+// recover — must abort the run cleanly (recoverLoopPanic), not crash the
+// process or strand wg.Wait, and the pool must stay usable.
+func TestChaosLoopPanicTerminatesRun(t *testing.T) {
+	defer fault.Reset()
+	fault.Enable(fpLoopBeforeSteal, fault.Rule{Action: fault.ActionPanic, OneShot: true})
+	p := New(Config{Workers: 4})
+	var recovered any
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recovered = recover() }()
+		// Root sleeps so the idle workers reach their steal attempts and
+		// one of them trips the injected panic between tasks.
+		p.Run(func(*Worker) { time.Sleep(20 * time.Millisecond) })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after an injected worker-loop panic")
+	}
+	ip, ok := recovered.(fault.InjectedPanic)
+	if !ok || ip.Point != fpLoopBeforeSteal {
+		t.Fatalf("recovered %v, want InjectedPanic at %s", recovered, fpLoopBeforeSteal)
+	}
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 0; i < 50; i++ {
+			w.Spawn(func(*Worker) { count.Add(1) })
+		}
+	})
+	if count.Load() != 50 {
+		t.Fatalf("pool ran %d of 50 tasks after a loop-panic abort", count.Load())
+	}
+}
+
+// Regression test for the drain bug: an abort that fires before worker 0
+// consumes the root handoff slot used to leave the stale root there, and
+// the next Run would execute it as a ghost. drainDeques must clear the
+// handoff and count it in TasksDropped.
+func TestPoolReuseAfterAbortDropsStaleHandoff(t *testing.T) {
+	defer fault.Reset()
+	p := New(Config{Workers: 1})
+	p.workers[0].dq = &rejectFirstPush{Dequer: p.workers[0].dq}
+	// Crash the worker loop at entry — after submitRoot parked the refused
+	// root in the handoff slot, before the loop consumes it.
+	fault.Enable(fpLoopEnter, fault.Rule{Action: fault.ActionPanic, OneShot: true})
+	var stale atomic.Int64
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.Run(func(*Worker) { stale.Add(1) })
+	}()
+	if ip, ok := recovered.(fault.InjectedPanic); !ok || ip.Point != fpLoopEnter {
+		t.Fatalf("recovered %v, want InjectedPanic at %s", recovered, fpLoopEnter)
+	}
+	if p.workers[0].handoff == nil {
+		t.Fatal("test premise broken: the aborted run did not strand a root in the handoff slot")
+	}
+	dropped0 := p.Stats().TasksDropped
+	var count atomic.Int64
+	p.Run(func(w *Worker) {
+		for i := 0; i < 50; i++ {
+			w.Spawn(func(*Worker) { count.Add(1) })
+		}
+	})
+	if got := stale.Load(); got != 0 {
+		t.Fatalf("stale root from the aborted run executed %d times in the next run", got)
+	}
+	if count.Load() != 50 {
+		t.Fatalf("second run executed %d of 50 tasks", count.Load())
+	}
+	if got := p.Stats().TasksDropped - dropped0; got != 1 {
+		t.Fatalf("TasksDropped grew by %d across the reuse, want 1 (the stranded handoff)", got)
+	}
+}
+
+// The lifecycle race between recordPanic's abort and a worker entering
+// park: the worker has published its parked flag and passed the re-check
+// but has not yet blocked on its token channel when the abort closes. The
+// abort must still wake it (park's select covers the abort channel), or
+// wg.Wait would hang forever.
+func TestAbortWakesWorkerSuspendedEnteringPark(t *testing.T) {
+	defer fault.Reset()
+	fault.Enable(fpParkBeforeSleep, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	p := New(Config{Workers: 2})
+	var recovered any
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recovered = recover() }()
+		p.Run(func(*Worker) {
+			// Keep the root busy until the idle worker is frozen in the
+			// instruction window between its pre-block re-check and its
+			// select, then abort the run under it.
+			for fault.Suspended(fpParkBeforeSleep) == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			panic("park-abort race")
+		})
+	}()
+	// Wait until both halves of the race are in place: the worker frozen
+	// short of its select, and the abort already published.
+	waitFor(t, 10*time.Second, "worker frozen entering park and run aborted", func() bool {
+		return fault.Suspended(fpParkBeforeSleep) == 1 && p.stopped.Load()
+	})
+	fault.Resume(fpParkBeforeSleep)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung: the abort was lost on a worker suspended entering park")
+	}
+	if recovered != "park-abort race" {
+		t.Fatalf("recovered %v, want the root panic value", recovered)
+	}
+}
+
+// The watchdog must surface a worker frozen mid-task (here: suspended just
+// before entering the task function) via OnStall and Stats.StallsDetected,
+// while exempting the healthy parked worker.
+func TestWatchdogSurfacesStalledWorker(t *testing.T) {
+	defer fault.Reset()
+	fault.Enable(fpExecBeforeRun, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	reports := make(chan StallReport, 16)
+	const window = 25 * time.Millisecond
+	p := New(Config{Workers: 2, StallTimeout: window, OnStall: func(r StallReport) {
+		select {
+		case reports <- r:
+		default:
+		}
+	}})
+	var count atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(func(*Worker) { count.Add(1) })
+	}()
+	var rep StallReport
+	select {
+	case rep = <-reports:
+	case <-time.After(10 * time.Second):
+		fault.Reset()
+		t.Fatal("watchdog never reported the frozen worker")
+	}
+	if rep.Worker < 0 || rep.Worker >= 2 {
+		t.Fatalf("stall report names worker %d of a 2-worker pool", rep.Worker)
+	}
+	if rep.Stalled < window {
+		t.Fatalf("reported stall of %v, want at least the %v window", rep.Stalled, window)
+	}
+	fault.Resume(fpExecBeforeRun)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not complete after resuming the stalled worker")
+	}
+	if count.Load() != 1 {
+		t.Fatal("root never ran after resume")
+	}
+	if p.Stats().StallsDetected == 0 {
+		t.Fatal("Stats.StallsDetected is zero after a reported stall")
+	}
+}
+
+// Randomized chaos soak: every registered point armed with low-probability
+// delays and yields (never suspend or panic — the run must finish unaided),
+// a fork-join workload on both non-blocking deques, result checked exactly.
+// Run with -race in CI; ABP_CHAOS_SOAK=<rounds> extends it for the nightly
+// job.
+func TestChaosRandomSoak(t *testing.T) {
+	defer fault.Reset()
+	rounds := 2
+	if env := os.Getenv("ABP_CHAOS_SOAK"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			t.Fatalf("ABP_CHAOS_SOAK=%q: want a positive round count", env)
+		}
+		rounds = n
+	}
+	want := fibSerial(20)
+	for _, kind := range []struct {
+		name string
+		k    DequeKind
+	}{{"ABP", DequeABP}, {"ChaseLev", DequeChaseLev}} {
+		t.Run(kind.name, func(t *testing.T) {
+			for r := 0; r < rounds; r++ {
+				for i, pt := range fault.Catalog() {
+					rule := fault.Rule{Action: fault.ActionYield, Prob: 0.05, Seed: int64(1000*r + i + 1)}
+					if i%2 == 0 {
+						rule = fault.Rule{Action: fault.ActionDelay, Prob: 0.02, Delay: 50 * time.Microsecond, Seed: int64(2000*r + i + 1)}
+					}
+					fault.Enable(pt.Name, rule)
+				}
+				p := New(Config{Workers: 4, Deque: kind.k, Seed: int64(r + 1)})
+				var got int
+				p.Run(func(w *Worker) { got = fibPar(w, 20, 5) })
+				fault.Reset()
+				if got != want {
+					t.Fatalf("round %d: fib(20) = %d under chaos, want %d", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChaosSuspendedWorkers sweeps throughput against the number of
+// worker goroutines frozen at the loop-level steal point: the quantitative
+// form of the non-blocking claim (k frozen workers cost at most their k
+// processors, they never wedge the rest). frozen=7 of 8 leaves the root
+// worker computing everything alone via Group.Wait's help loop.
+func BenchmarkChaosSuspendedWorkers(b *testing.B) {
+	defer fault.Reset()
+	const workers = 8
+	const tasks = 2000
+	for _, frozen := range []int{0, 1, 2, 4, 7} {
+		b.Run(fmt.Sprintf("frozen=%d", frozen), func(b *testing.B) {
+			p := New(Config{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if frozen > 0 {
+					fault.Enable(fpLoopBeforeSteal, fault.Rule{Action: fault.ActionSuspend, Times: frozen})
+				}
+				var count atomic.Int64
+				p.Run(func(w *Worker) {
+					g := NewGroup()
+					for j := 0; j < tasks; j++ {
+						g.Spawn(w, func(*Worker) {
+							chaosSpin(200)
+							count.Add(1)
+						})
+					}
+					g.Wait(w)
+					// All tasks are done; release the frozen thieves so the
+					// run can terminate. (sched.loop.beforeSteal fires only
+					// for loop-level steals, so this helping root can never
+					// have frozen itself.)
+					fault.Resume(fpLoopBeforeSteal)
+				})
+				if count.Load() != tasks {
+					b.Fatalf("ran %d of %d tasks with %d workers frozen", count.Load(), tasks, frozen)
+				}
+				fault.Disable(fpLoopBeforeSteal)
+			}
+			b.ReportMetric(tasks, "tasks/op")
+		})
+	}
+}

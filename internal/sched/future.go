@@ -6,10 +6,12 @@ import (
 )
 
 // poolAbortedError is the panic value Join raises when the run was aborted
-// by another task's panic while this future can no longer complete.
+// — by another task's panic or by a context cancellation — while this
+// future can no longer complete. cause holds the original panic value or
+// the cancellation error.
 type poolAbortedError struct{ cause any }
 
-func (e poolAbortedError) Error() string { return "sched: pool run aborted by a task panic" }
+func (e poolAbortedError) Error() string { return "sched: pool run aborted" }
 
 // Future is the result of a Fork: a value that becomes available when the
 // forked task completes. Join retrieves it, executing other tasks while it
@@ -42,9 +44,26 @@ func Fork[T any](w *Worker, fn func(*Worker) T) *Future[T] {
 // park-instead-of-spin discipline as the worker loop (lifecycle.go) — and
 // is woken by the forked task's completion or, if another task panics, by
 // the run's abort, in which case it panics with poolAbortedError so the
-// abort also unwinds joiners that could otherwise wait forever.
+// abort also unwinds joiners that could otherwise wait forever. The abort
+// check also runs between helped tasks: a joiner with a deep backlog
+// unwinds at the next task boundary instead of draining the backlog first
+// (the worker loop makes the same between-tasks check).
 func (f *Future[T]) Join(w *Worker) T {
 	for !f.done.Load() {
+		select {
+		case <-w.pool.abort:
+			if !f.done.Load() {
+				// The abort-channel receive orders these reads after the
+				// aborter's write: panicVal for a task panic, cancelErr for
+				// a cancelled RunContext.
+				cause := w.pool.panicVal
+				if cause == nil {
+					cause = w.pool.cancelErr
+				}
+				panic(poolAbortedError{cause: cause})
+			}
+		default:
+		}
 		if t := w.tryGetTask(); t != nil {
 			w.exec(t)
 			continue
@@ -61,7 +80,11 @@ func (f *Future[T]) Join(w *Worker) T {
 		case <-f.ch:
 		case <-w.pool.abort:
 			if !f.done.Load() {
-				panic(poolAbortedError{cause: w.pool.panicVal})
+				cause := w.pool.panicVal
+				if cause == nil {
+					cause = w.pool.cancelErr
+				}
+				panic(poolAbortedError{cause: cause})
 			}
 		default:
 			runtime.Gosched()
@@ -72,7 +95,11 @@ func (f *Future[T]) Join(w *Worker) T {
 			case <-f.ch:
 			case <-w.pool.abort:
 				if !f.done.Load() {
-					panic(poolAbortedError{cause: w.pool.panicVal})
+					cause := w.pool.panicVal
+					if cause == nil {
+						cause = w.pool.cancelErr
+					}
+					panic(poolAbortedError{cause: cause})
 				}
 			}
 		}

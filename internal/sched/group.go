@@ -48,9 +48,25 @@ func newGroupChan() *chan struct{} {
 }
 
 // Wait blocks until every task spawned into the group (so far) has
-// finished, executing other tasks while it waits.
+// finished, executing other tasks while it waits. Like Future.Join, Wait
+// checks the run's abort between helped tasks, so a cancelled or panicked
+// run unwinds a helping waiter at the next task boundary instead of after
+// it drains its backlog.
 func (g *Group) Wait(w *Worker) {
 	for g.pending.Load() > 0 {
+		select {
+		case <-w.pool.abort:
+			if g.pending.Load() > 0 {
+				// The abort-channel receive orders these reads after the
+				// aborter's write (see Future.Join).
+				cause := w.pool.panicVal
+				if cause == nil {
+					cause = w.pool.cancelErr
+				}
+				panic(poolAbortedError{cause: cause})
+			}
+		default:
+		}
 		if t := w.tryGetTask(); t != nil {
 			w.exec(t)
 			continue
@@ -67,7 +83,11 @@ func (g *Group) Wait(w *Worker) {
 		case <-*ch:
 		case <-w.pool.abort:
 			if g.pending.Load() > 0 {
-				panic(poolAbortedError{cause: w.pool.panicVal})
+				cause := w.pool.panicVal
+				if cause == nil {
+					cause = w.pool.cancelErr
+				}
+				panic(poolAbortedError{cause: cause})
 			}
 		}
 	}

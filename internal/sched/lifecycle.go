@@ -35,6 +35,8 @@ package sched
 import (
 	"runtime"
 	"time"
+
+	"worksteal/internal/fault"
 )
 
 const (
@@ -53,22 +55,29 @@ const (
 //abp:owner the worker goroutine is its deque's single owner for the run
 func (w *Worker) loop() {
 	defer w.pool.wg.Done()
+	defer w.recoverLoopPanic()
 	if w.pool.cfg.Pin {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	if t := w.handoff; t != nil { // root fallback from submitRoot
+	fault.Point(fpLoopEnter)
+	// Root fallback from submitRoot. Skipped when the run is already
+	// aborted (e.g. a pre-cancelled RunContext), leaving the handoff in
+	// place for drain to count rather than executing it into a dead run.
+	if t := w.handoff; t != nil && !w.pool.stopped.Load() {
 		w.handoff = nil
 		w.exec(t)
 	}
 	fails := 0
 	for !w.pool.stopped.Load() {
+		w.progress.Add(1)
 		t := w.dq.PopBottom()
 		if t == nil {
 			if !w.pool.cfg.DisableYield {
 				w.yields.Add(1)
 				runtime.Gosched()
 			}
+			fault.Point(fpLoopBeforeSteal)
 			t = w.stealOnce()
 		}
 		if t != nil {
@@ -80,6 +89,20 @@ func (w *Worker) loop() {
 		if w.idleWait(fails) {
 			fails = 0 // parked and woke: restart the hot phase
 		}
+	}
+}
+
+// recoverLoopPanic is the recover-and-terminate path for a panic raised by
+// the loop machinery itself — outside exec's per-task recover, e.g. an
+// injected fault.Point panic between tasks. Without it such a panic would
+// escape the worker goroutine and crash the process (and, were it somehow
+// swallowed, strand pending above zero and deadlock wg.Wait for the other
+// workers). Instead it aborts the run like a task panic: stopped stops
+// every loop, the abort close wakes parked workers and blocked Joins, and
+// Run/RunContext re-panics with the original value after wg.Wait.
+func (w *Worker) recoverLoopPanic() {
+	if r := recover(); r != nil {
+		w.pool.recordPanic(r)
 	}
 }
 
@@ -122,6 +145,11 @@ func (w *Worker) park() bool {
 		return false
 	}
 	w.parks.Add(1)
+	// The window the abort/park chaos test targets: parked is published
+	// and the re-check passed, but the worker is not yet blocked. A
+	// suspension here models preemption between those two instructions; an
+	// abort or done close arriving meanwhile must still wake the worker.
+	fault.Point(fpParkBeforeSleep)
 	select {
 	case <-w.parkCh:
 		w.wakes.Add(1)

@@ -207,7 +207,7 @@ func TestStatsString(t *testing.T) {
 	p := New(Config{Workers: 2})
 	p.Run(func(w *Worker) { _ = fibPar(w, 15, 5) })
 	out := p.Stats().String()
-	for _, field := range []string{"tasks-run", "spawns", "steals", "parks", "wakes", "backoff", "tasks-dropped"} {
+	for _, field := range []string{"tasks-run", "spawns", "steals", "parks", "wakes", "backoff", "tasks-dropped", "tasks-cancelled", "stalls"} {
 		if !strings.Contains(out, field) {
 			t.Fatalf("Stats.String missing %q:\n%s", field, out)
 		}

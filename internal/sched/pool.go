@@ -23,13 +23,33 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"worksteal/internal/deque"
+	"worksteal/internal/fault"
+)
+
+// Failpoints compiled into the scheduler (internal/fault, DESIGN.md §9).
+// sched.loop.beforeSteal fires only for loop-level steals (never for a
+// Join helping itself to work), so a chaos run can freeze thieves without
+// ever freezing the joiner that must later resume them.
+var (
+	fpLoopEnter = fault.Register("sched.loop.enter",
+		"worker loop: before the handoff check and first pop (crash here strands the root handoff)")
+	fpLoopBeforeSteal = fault.Register("sched.loop.beforeSteal",
+		"worker loop: idle, about to attempt a steal (loop-level steals only)")
+	fpStealBeforePopTop = fault.Register("sched.steal.beforePopTop",
+		"stealOnce: victim chosen, PopTop not yet issued (any steal, including Join helps)")
+	fpExecBeforeRun = fault.Register("sched.exec.beforeRun",
+		"exec: termination accounting armed, task function not yet entered")
+	fpParkBeforeSleep = fault.Register("sched.park.beforeSleep",
+		"park: parked flag published and re-check passed, not yet blocked on the token channel")
 )
 
 // DequeKind selects the deque implementation workers use.
@@ -82,6 +102,15 @@ type Config struct {
 	// deterministic rotation (the design-choice-5 ablation; the paper's
 	// analysis requires random victims).
 	RoundRobinVictim bool
+	// StallTimeout enables the stall watchdog (watchdog.go): a worker
+	// goroutine that makes no scheduler-visible progress for this window
+	// while unparked is surfaced via OnStall and Stats.StallsDetected
+	// instead of hanging silently. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// OnStall, if non-nil, is called by the watchdog goroutine once per
+	// detected stall episode. It must be safe to call concurrently with
+	// the run and must not block for long (it delays later detections).
+	OnStall func(StallReport)
 }
 
 // Task is the unit of work handled by the scheduler.
@@ -90,27 +119,34 @@ type Task struct {
 }
 
 // Pool is a work-stealing scheduler instance. Create one with New, then use
-// Run (possibly several times in sequence). A Pool must not be used by two
-// Runs concurrently.
+// Run or RunContext (possibly several times in sequence). A Pool must not
+// be used by two runs concurrently; doing so panics with a clear error
+// rather than corrupting the pending counter.
 type Pool struct {
 	cfg           Config
 	parkThreshold int
 	workers       []*Worker
 	pending       atomic.Int64
 	stopped       atomic.Bool
+	running       atomic.Bool  // guards against concurrent Run/RunContext
 	idle          atomic.Int32 // workers currently parked (lifecycle.go)
 	dropped       atomic.Int64 // stale tasks drained between runs
+	cancelledN    atomic.Int64 // tasks dropped by a cancelled RunContext
+	stalls        atomic.Int64 // stall episodes surfaced by the watchdog
 	wg            sync.WaitGroup
 
 	// done is closed by the worker whose task decrement drives pending to
 	// zero: the run is over, and the close wakes every parked worker.
 	done chan struct{}
 
-	// Panic plumbing: the first panicking task aborts the run; Run re-panics
-	// with its value after all workers exit. abort is closed to wake any
-	// Join or parked worker that would otherwise wait forever.
-	panicOnce sync.Once
+	// Abort plumbing, shared by the two ways a run ends early: the first
+	// panicking task (recordPanic) or a context cancellation (cancelRun).
+	// Whichever happens first wins abortOnce, sets stopped, and closes
+	// abort — which wakes any Join or parked worker that would otherwise
+	// wait forever. Run re-panics panicVal; RunContext returns cancelErr.
+	abortOnce sync.Once
 	panicVal  any
+	cancelErr error
 	abort     chan struct{}
 }
 
@@ -126,6 +162,11 @@ type Worker struct {
 
 	parkCh chan struct{} // capacity-1 wake token (lifecycle.go)
 	parked atomic.Bool
+
+	// progress ticks on every loop iteration and task completion; the
+	// stall watchdog (watchdog.go) reads it to tell a live worker from one
+	// frozen mid-operation.
+	progress atomic.Int64
 
 	// Per-worker counters, summed by Pool.Stats. Atomics so Stats is safe
 	// to call while the run is in flight.
@@ -196,35 +237,124 @@ func (p *Pool) Workers() int { return p.cfg.Workers }
 // tasks still in deques are dropped — and drained before the next Run, so
 // they can never leak into it).
 func (p *Pool) Run(root func(*Worker)) {
+	// context.Background can never cancel, so the only error RunContext
+	// can return here is nil.
+	_ = p.RunContext(context.Background(), root)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the run aborts through the same plumbing a task panic
+// uses — workers stop after their current task, parked workers and blocked
+// Joins wake — and RunContext returns ctx.Err(). Tasks that were spawned
+// but never ran are discarded and counted in Stats.TasksCancelled; tasks
+// already executing cannot be preempted and run to completion.
+//
+// A nil error means root and every transitively spawned task completed.
+// If a task panics before any cancellation, RunContext re-panics with the
+// original value, exactly like Run. The pool remains reusable after either
+// outcome.
+func (p *Pool) RunContext(ctx context.Context, root func(*Worker)) error {
+	if !p.running.CompareAndSwap(false, true) {
+		panic("sched: Pool.Run/RunContext called concurrently with a run already in flight on this pool (a Pool serves one run at a time)")
+	}
+	defer p.running.Store(false)
 	p.stopped.Store(false)
-	p.panicOnce = sync.Once{}
+	p.abortOnce = sync.Once{}
 	p.panicVal = nil
+	p.cancelErr = nil
 	p.abort = make(chan struct{})
 	p.done = make(chan struct{})
 	p.drainDeques()
+	// A root stranded in a handoff slot by an aborted run must be dropped
+	// here, not executed as a ghost of the previous run. Cleared inline
+	// (before the forks below) rather than in drain so the ordering against
+	// the worker goroutines is a lexical fork edge.
+	for _, w := range p.workers {
+		if w.handoff != nil {
+			w.handoff = nil
+			p.dropped.Add(1)
+		}
+	}
 	p.pending.Store(1)
 	p.submitRoot(&Task{fn: root})
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: abort before any worker starts, so the root
+		// handoff/push is dropped (and counted) rather than executed.
+		p.cancelRun(err)
+	}
 	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
 		go w.loop()
 	}
+
+	// Auxiliary goroutines: the context watcher and the stall watchdog.
+	// Both exit when the run ends (stopAux) or the run aborts.
+	stopAux := make(chan struct{})
+	var aux sync.WaitGroup
+	if ctx.Done() != nil {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			select {
+			case <-ctx.Done():
+				p.cancelRun(ctx.Err())
+			case <-p.done:
+			case <-p.abort:
+			case <-stopAux:
+			}
+		}()
+	}
+	if p.cfg.StallTimeout > 0 {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			p.watchdog(stopAux)
+		}()
+	}
+
 	p.wg.Wait()
+	close(stopAux)
+	aux.Wait()
+
+	if p.cancelErr != nil {
+		// Quiescent again: every worker has exited (wg.Wait above), so the
+		// run goroutine may drain what the cancelled run left behind —
+		// including a root the abort stranded in its handoff slot.
+		p.drain(&p.cancelledN)
+		for _, w := range p.workers {
+			if w.handoff != nil {
+				w.handoff = nil
+				p.cancelledN.Add(1)
+			}
+		}
+		return p.cancelErr
+	}
 	if p.panicVal != nil {
 		panic(p.panicVal)
 	}
+	return nil
 }
 
-// drainDeques empties every worker deque of tasks left over from a
-// previous panic-aborted run, so a stale task can neither execute in the
-// next run nor decrement its pending counter out from under it. It also
-// clears stale wake tokens. Between runs no workers are live, so Run's
-// goroutine is a legitimate owner for the PopBottom calls.
+// drainDeques empties every worker's deque of tasks left over from a
+// previous aborted run, so a stale task can neither execute in the next
+// run nor decrement its pending counter out from under it, and clears
+// stale wake tokens. RunContext pairs it with the inline handoff-slot
+// sweep (same hazard, different storage).
+func (p *Pool) drainDeques() { p.drain(&p.dropped) }
+
+// drain empties every deque into the given counter and clears stale wake
+// tokens. Callers run only in quiescent phases — before a run's workers
+// start, or after wg.Wait of a cancelled run — so the calling goroutine is
+// a legitimate owner for the PopBottom calls. The handoff slots are
+// cleared separately, inline in RunContext (see clearHandoffs there): the
+// plain handoff field needs its ordering against the worker goroutines to
+// be lexically visible to the static race detector.
 //
 //abp:owner quiescent phase: no workers are running between runs
-func (p *Pool) drainDeques() {
+func (p *Pool) drain(counter *atomic.Int64) {
 	for _, w := range p.workers {
 		for w.dq.PopBottom() != nil {
-			p.dropped.Add(1)
+			counter.Add(1)
 		}
 		select {
 		case <-w.parkCh:
@@ -247,10 +377,23 @@ func (p *Pool) submitRoot(t *Task) {
 	}
 }
 
-// recordPanic notes the first task panic and aborts the run.
+// recordPanic notes the first task (or worker-loop) panic and aborts the
+// run. If a cancellation already aborted it, the panic is dropped — the
+// cancellation is what the caller observes.
 func (p *Pool) recordPanic(v any) {
-	p.panicOnce.Do(func() {
+	p.abortOnce.Do(func() {
 		p.panicVal = v
+		p.stopped.Store(true)
+		close(p.abort)
+	})
+}
+
+// cancelRun aborts the run because its context was cancelled. First abort
+// wins: a panic recorded earlier keeps priority and still re-panics from
+// RunContext.
+func (p *Pool) cancelRun(err error) {
+	p.abortOnce.Do(func() {
+		p.cancelErr = err
 		p.stopped.Store(true)
 		close(p.abort)
 	})
@@ -259,7 +402,11 @@ func (p *Pool) recordPanic(v any) {
 // Stats sums the per-worker counters accumulated so far (across runs). It
 // is safe to call concurrently with a running Run.
 func (p *Pool) Stats() Stats {
-	s := Stats{TasksDropped: p.dropped.Load()}
+	s := Stats{
+		TasksDropped:   p.dropped.Load(),
+		TasksCancelled: p.cancelledN.Load(),
+		StallsDetected: p.stalls.Load(),
+	}
 	for _, w := range p.workers {
 		s.TasksRun += w.tasksRun.Load()
 		s.Spawns += w.spawns.Load()
@@ -294,6 +441,7 @@ func (w *Worker) stealOnce() *Task {
 		v++
 	}
 	w.stealAttempts.Add(1)
+	fault.Point(fpStealBeforePopTop)
 	t := w.pool.workers[v].dq.PopTop()
 	if t != nil {
 		w.steals.Add(1)
@@ -312,11 +460,13 @@ func (w *Worker) exec(t *Task) {
 			w.pool.recordPanic(r)
 		}
 		w.tasksRun.Add(1)
+		w.progress.Add(1)
 		if w.pool.pending.Add(-1) == 0 {
 			w.pool.stopped.Store(true)
 			close(w.pool.done)
 		}
 	}()
+	fault.Point(fpExecBeforeRun)
 	t.fn(w)
 }
 

@@ -12,27 +12,31 @@ import (
 // running Run (the snapshot is per-counter consistent, not a single
 // instant across counters).
 type Stats struct {
-	TasksRun      int64
-	Spawns        int64
-	InlineRuns    int64 // spawns executed inline because a deque was full
-	TasksDropped  int64 // stale tasks drained from deques after an aborted run
-	Steals        int64
-	StealAttempts int64
-	Yields        int64
-	Parks         int64 // times a worker blocked on its park channel
-	Wakes         int64 // parked workers woken by a new-work signal
-	BackoffNanos  int64 // total time idle workers spent in backoff sleeps
+	TasksRun       int64
+	Spawns         int64
+	InlineRuns     int64 // spawns executed inline because a deque was full
+	TasksDropped   int64 // stale tasks drained from deques after an aborted run
+	TasksCancelled int64 // tasks discarded unrun by a cancelled RunContext
+	StallsDetected int64 // stall episodes surfaced by the watchdog (watchdog.go)
+	Steals         int64
+	StealAttempts  int64
+	Yields         int64
+	Parks          int64 // times a worker blocked on its park channel
+	Wakes          int64 // parked workers woken by a new-work signal
+	BackoffNanos   int64 // total time idle workers spent in backoff sleeps
 }
 
 // String renders the counters as an aligned two-column table, one counter
 // per line (the table cmd/abpbench -stats prints).
 func (s Stats) String() string {
 	var b strings.Builder
-	row := func(name string, v any) { fmt.Fprintf(&b, "%-14s %14v\n", name, v) }
+	row := func(name string, v any) { fmt.Fprintf(&b, "%-15s %14v\n", name, v) }
 	row("tasks-run", s.TasksRun)
 	row("spawns", s.Spawns)
 	row("inline-runs", s.InlineRuns)
 	row("tasks-dropped", s.TasksDropped)
+	row("tasks-cancelled", s.TasksCancelled)
+	row("stalls", s.StallsDetected)
 	row("steals", s.Steals)
 	row("steal-attempts", s.StealAttempts)
 	row("yields", s.Yields)

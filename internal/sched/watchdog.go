@@ -1,0 +1,80 @@
+// Stall watchdog: surfacing frozen workers instead of hanging silently.
+//
+// The paper's non-blocking claim means a stalled process cannot block the
+// *others* — it says nothing about noticing that a process has stalled.
+// In production that observability gap is what turns a wedged worker (a
+// task stuck in a syscall, a goroutine suspended by a fault injection, a
+// deadlocked user callback) into an unexplained hang of the whole job. The
+// watchdog closes the gap: when Config.StallTimeout is set, a monitor
+// goroutine runs alongside each run and reports any worker goroutine that
+// makes no scheduler-visible progress for a full window while unparked.
+//
+// Progress is the per-worker progress counter, ticked on every loop
+// iteration and every task completion. Parked workers are exempt (waiting
+// for work is the healthy idle state, and the Dekker handshake in
+// lifecycle.go guarantees they cannot be waiting on lost work). What
+// remains — unparked and motionless — is either a worker frozen
+// mid-operation (the chaos scenario) or a single task running (or blocked
+// in a Join) longer than the window; both are exactly what an operator
+// wants surfaced. Detection is intentionally report-only: the watchdog
+// never kills or unwinds anything, it increments Stats.StallsDetected and
+// invokes Config.OnStall once per stall episode (re-arming when the worker
+// makes progress again).
+package sched
+
+import "time"
+
+// StallReport describes one detected stall episode.
+type StallReport struct {
+	// Worker is the index of the stalled worker goroutine.
+	Worker int
+	// Stalled is how long the worker had made no progress at detection
+	// time; at least Config.StallTimeout.
+	Stalled time.Duration
+}
+
+// watchdog polls worker progress until stop closes, reporting stalls per
+// the package comment. It runs on its own goroutine, started by RunContext
+// when Config.StallTimeout > 0.
+func (p *Pool) watchdog(stop <-chan struct{}) {
+	window := p.cfg.StallTimeout
+	interval := window / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	n := len(p.workers)
+	last := make([]int64, n)
+	since := make([]time.Time, n)
+	reported := make([]bool, n)
+	now := time.Now()
+	for i, w := range p.workers {
+		last[i] = w.progress.Load()
+		since[i] = now
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case now = <-ticker.C:
+		}
+		for i, w := range p.workers {
+			cur := w.progress.Load()
+			if cur != last[i] || w.parked.Load() {
+				last[i] = cur
+				since[i] = now
+				reported[i] = false
+				continue
+			}
+			if stalled := now.Sub(since[i]); !reported[i] && stalled >= window {
+				reported[i] = true
+				p.stalls.Add(1)
+				if cb := p.cfg.OnStall; cb != nil {
+					cb(StallReport{Worker: i, Stalled: stalled})
+				}
+			}
+		}
+	}
+}
