@@ -13,6 +13,7 @@
 //	abpbench -experiment idle
 //	abpbench -experiment chaos
 //	abpbench -experiment chaos -faults 'deque.popTop.beforeCAS=delay:p=0.01:d=200us'
+//	abpbench -experiment submit -out BENCH_submit.json
 package main
 
 import (
@@ -31,11 +32,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos")
+		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos|submit")
 		nodeWork = flag.Int("nodework", 2000, "synthetic work per dag node (spin iterations)")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (best time kept)")
 		stats    = flag.Bool("stats", false, "print the scheduler counter table (parks, wakes, backoff, ...) after pool experiments")
 		faults   = flag.String("faults", "", "fault spec to arm for -experiment chaos (default: the ABP_FAULTS environment variable)")
+		out      = flag.String("out", "BENCH_submit.json", "JSON snapshot path for -experiment submit")
 	)
 	flag.Parse()
 
@@ -54,6 +56,8 @@ func main() {
 		idleOverhead(*reps)
 	case "chaos":
 		chaos(*reps, *faults, *stats)
+	case "submit":
+		submitExperiment(*nodeWork, *reps, *out, *stats)
 	default:
 		fmt.Fprintf(os.Stderr, "abpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"worksteal/internal/sched"
+	"worksteal/internal/table"
+)
+
+// The submit experiment probes the service engine (Pool.Serve/Submit) from
+// both sides of queueing theory:
+//
+//   - closed loop: G submitter goroutines each run Submit+Wait back to
+//     back, so the number of in-flight submissions is pinned at G and the
+//     measurement is the engine's sustainable throughput and per-request
+//     sojourn under a fixed concurrency level;
+//   - open loop: submissions are offered at a fixed rate regardless of
+//     completions, so once the offered rate passes the service rate the
+//     bounded injector must shed (ErrOverloaded) rather than let the
+//     backlog — and every sojourn behind it — grow without bound. The
+//     rejected column is the admission control working as specified.
+//
+// Results go to stdout as tables and to -out (default BENCH_submit.json)
+// as a machine-readable snapshot for tracking across revisions.
+
+type submitClosedRow struct {
+	Submitters    int     `json:"submitters"`
+	Submissions   int64   `json:"submissions"`
+	DurationNs    int64   `json:"duration_ns"`
+	ThroughputPS  float64 `json:"throughput_per_sec"`
+	MeanSojournNs int64   `json:"mean_sojourn_ns"`
+}
+
+type submitOpenRow struct {
+	OfferedPS     int     `json:"offered_per_sec"`
+	Offered       int64   `json:"offered"`
+	Accepted      int64   `json:"accepted"`
+	Rejected      int64   `json:"rejected"`
+	Completed     int64   `json:"completed"`
+	MeanSojournNs int64   `json:"mean_sojourn_ns"`
+	AcceptRatio   float64 `json:"accept_ratio"`
+}
+
+type submitReport struct {
+	Experiment   string            `json:"experiment"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Workers      int               `json:"workers"`
+	TaskSpins    int               `json:"task_spins"`
+	SpawnsPerSub int               `json:"spawns_per_submission"`
+	Reps         int               `json:"reps"`
+	ClosedLoop   []submitClosedRow `json:"closed_loop"`
+	OpenLoop     []submitOpenRow   `json:"open_loop"`
+}
+
+// submitTask is one submission's work: a root that forks spawnsPerSub
+// subtasks of taskSpins spin iterations each, so every submission
+// exercises the full path — injector, deque, steal — not just the injector.
+func submitTask(taskSpins, spawnsPerSub int) func(*sched.Worker) {
+	return func(w *sched.Worker) {
+		g := sched.NewGroup()
+		for i := 0; i < spawnsPerSub; i++ {
+			g.Spawn(w, func(*sched.Worker) { chaosSpin(taskSpins) })
+		}
+		g.Wait(w)
+	}
+}
+
+// serveForBench starts p.Serve on a background goroutine and blocks until
+// the pool accepts submissions (Submit stops returning ErrNotServing — the
+// probe submissions are counted by the caller's warmup). Returns a stop
+// function that cancels service and waits for Serve to return.
+func serveForBench(p *sched.Pool) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = p.Serve(ctx)
+	}()
+	for {
+		h, err := p.Submit(func(*sched.Worker) {})
+		if err == nil {
+			_ = h.Wait()
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// submitClosed measures one closed-loop configuration: G submitters,
+// Submit+Wait back to back for the window. Best-throughput rep wins.
+func submitClosed(workers, submitters, taskSpins, spawnsPerSub, reps int) submitClosedRow {
+	const window = 150 * time.Millisecond
+	task := submitTask(taskSpins, spawnsPerSub)
+	best := submitClosedRow{Submitters: submitters}
+	for r := 0; r < reps; r++ {
+		p := sched.New(sched.Config{Workers: workers})
+		stop := serveForBench(p)
+		var count, sojourn atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		deadline := start.Add(window)
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					t0 := time.Now()
+					h, err := p.Submit(task)
+					if err != nil {
+						// Closed-loop in-flight count is bounded by G, far
+						// below the injector capacity; an error here would
+						// mean the service died, so just stop this submitter.
+						return
+					}
+					_ = h.Wait()
+					sojourn.Add(int64(time.Since(t0)))
+					count.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		stop()
+		n := count.Load()
+		row := submitClosedRow{
+			Submitters:   submitters,
+			Submissions:  n,
+			DurationNs:   int64(elapsed),
+			ThroughputPS: float64(n) / elapsed.Seconds(),
+		}
+		if n > 0 {
+			row.MeanSojournNs = sojourn.Load() / n
+		}
+		if r == 0 || row.ThroughputPS > best.ThroughputPS {
+			best = row
+		}
+	}
+	return best
+}
+
+// submitOpen offers submissions at a fixed rate for the window, never
+// waiting for completions while offering, then drains every accepted
+// Handle. Pacing is in 1ms batches: sleep-per-submission cannot hit tens
+// of thousands per second, a millisecond batch can.
+func submitOpen(workers, offeredPS, taskSpins, spawnsPerSub, injectorCap int) submitOpenRow {
+	const window = 100 * time.Millisecond
+	task := submitTask(taskSpins, spawnsPerSub)
+	p := sched.New(sched.Config{Workers: workers, InjectorShards: 1, InjectorCapacity: injectorCap})
+	stop := serveForBench(p)
+
+	perMs := offeredPS / 1000
+	if perMs < 1 {
+		perMs = 1
+	}
+	var offered, accepted, rejected int64
+	var completed, sojourn atomic.Int64
+	// One waiter goroutine per accepted submission, so the sojourn is
+	// stamped at the moment the Handle resolves, not when a drain loop
+	// happens to reach it.
+	var waiters sync.WaitGroup
+	start := time.Now()
+	for tick := 0; ; tick++ {
+		batchAt := start.Add(time.Duration(tick) * time.Millisecond)
+		if batchAt.Sub(start) >= window {
+			break
+		}
+		if d := time.Until(batchAt); d > 0 {
+			time.Sleep(d)
+		}
+		for i := 0; i < perMs; i++ {
+			offered++
+			t0 := time.Now()
+			h, err := p.Submit(task)
+			if err != nil {
+				// ErrOverloaded under the default ShedReject policy: the
+				// bounded injector shedding exactly as specified.
+				rejected++
+				continue
+			}
+			accepted++
+			waiters.Add(1)
+			go func() {
+				defer waiters.Done()
+				if h.Wait() == nil {
+					sojourn.Add(int64(time.Since(t0)))
+					completed.Add(1)
+				}
+			}()
+		}
+	}
+	waiters.Wait()
+	stop()
+	row := submitOpenRow{
+		OfferedPS: offeredPS,
+		Offered:   offered,
+		Accepted:  accepted,
+		Rejected:  rejected,
+		Completed: completed.Load(),
+	}
+	if n := completed.Load(); n > 0 {
+		row.MeanSojournNs = sojourn.Load() / n
+	}
+	if offered > 0 {
+		row.AcceptRatio = float64(accepted) / float64(offered)
+	}
+	return row
+}
+
+// submitExperiment runs both sweeps, renders the tables, and writes the
+// JSON snapshot.
+func submitExperiment(taskSpins, reps int, outPath string, showStats bool) {
+	workers := runtime.GOMAXPROCS(0)
+	const spawnsPerSub = 4
+	rep := submitReport{
+		Experiment:   "submit",
+		GOMAXPROCS:   workers,
+		Workers:      workers,
+		TaskSpins:    taskSpins,
+		SpawnsPerSub: spawnsPerSub,
+		Reps:         reps,
+	}
+
+	ctb := table.New(fmt.Sprintf("closed loop: G submitters, Submit+Wait back to back (workers=%d, %d spawns x %d spins per submission)",
+		workers, spawnsPerSub, taskSpins),
+		"submitters", "submissions", "throughput/s", "mean sojourn")
+	for _, g := range []int{1, 4, 16, 64} {
+		row := submitClosed(workers, g, taskSpins, spawnsPerSub, reps)
+		rep.ClosedLoop = append(rep.ClosedLoop, row)
+		ctb.Row(row.Submitters, row.Submissions, fmt.Sprintf("%.0f", row.ThroughputPS),
+			time.Duration(row.MeanSojournNs).Round(time.Microsecond))
+	}
+	ctb.Render(os.Stdout)
+
+	// Offered rates bracket the closed-loop capacity: the low rates should
+	// be absorbed in full, the high ones must shed. Injector capacity is
+	// kept small so the overload point arrives inside the 100ms window.
+	capacityPS := 0.0
+	for _, r := range rep.ClosedLoop {
+		if r.ThroughputPS > capacityPS {
+			capacityPS = r.ThroughputPS
+		}
+	}
+	rates := []int{
+		int(capacityPS * 0.25),
+		int(capacityPS * 0.75),
+		int(capacityPS * 1.5),
+		int(capacityPS * 4),
+	}
+	otb := table.New("open loop: fixed offered rate, bounded injector (capacity 256, ShedReject)",
+		"offered/s", "offered", "accepted", "rejected", "completed", "accept ratio", "mean sojourn")
+	for _, r := range rates {
+		if r < 1000 {
+			r = 1000
+		}
+		row := submitOpen(workers, r, taskSpins, spawnsPerSub, 256)
+		rep.OpenLoop = append(rep.OpenLoop, row)
+		otb.Row(row.OfferedPS, row.Offered, row.Accepted, row.Rejected, row.Completed,
+			fmt.Sprintf("%.2f", row.AcceptRatio),
+			time.Duration(row.MeanSojournNs).Round(time.Microsecond))
+	}
+	otb.Render(os.Stdout)
+	fmt.Println("Closed loop pins in-flight submissions at G (throughput saturates, sojourn")
+	fmt.Println("grows ~linearly past the worker count); open loop keeps offering regardless,")
+	fmt.Println("so past capacity the bounded injector rejects the excess instead of building")
+	fmt.Println("an unbounded backlog — every accepted submission still completes.")
+
+	if showStats {
+		// The counters of the last open-loop pool are gone with it; re-run a
+		// short closed-loop burst on a fresh pool to show the serve counters.
+		p := sched.New(sched.Config{Workers: workers})
+		stop := serveForBench(p)
+		task := submitTask(taskSpins, spawnsPerSub)
+		for i := 0; i < 1000; i++ {
+			if h, err := p.Submit(task); err == nil {
+				_ = h.Wait()
+			}
+		}
+		stop()
+		fmt.Printf("-- stats: closed-loop burst, workers=%d\n%s", workers, p.Stats())
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abpbench: marshal report: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "abpbench: write %s: %v\n", outPath, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

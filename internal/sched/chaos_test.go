@@ -368,6 +368,126 @@ func TestChaosRandomSoak(t *testing.T) {
 	}
 }
 
+// The injector's version of the suspended-thief adversary: freeze a worker
+// at the instruction boundary inside TryPop before its dequeue CAS — the
+// poller holds no cell there, by construction — and assert the service
+// keeps draining submissions through the other workers while it stays
+// frozen. The companion to TestChaosSuspendedThiefMidPopTop for the queue
+// submissions enter through.
+func TestChaosSuspendedThiefMidInjectorPoll(t *testing.T) {
+	defer fault.Reset()
+	p := New(Config{Workers: 4, InjectorShards: 1})
+	stop := startServing(t, p)
+	// Arm the point only now: Serve's own startSession sweeps the injector
+	// shards through the same TryPop, and freezing the Serve goroutine
+	// there would be a different (and broken) experiment.
+	fault.Enable(fpInjectorBeforePop, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	waitFor(t, 10*time.Second, "a worker frozen entering the injector poll", func() bool {
+		return fault.Suspended(fpInjectorBeforePop) == 1
+	})
+
+	const subs = 200
+	var count atomic.Int64
+	handles := make([]*Handle, 0, subs)
+	for i := 0; i < subs; i++ {
+		h, err := p.Submit(func(w *Worker) {
+			g := NewGroup()
+			for j := 0; j < 5; j++ {
+				g.Spawn(w, func(*Worker) {
+					chaosSpin(100)
+					count.Add(1)
+				})
+			}
+			g.Wait(w)
+		})
+		if err != nil {
+			t.Fatalf("Submit %d with a frozen poller: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	// The claim under test: every submission completes while the poller is
+	// still frozen mid-TryPop on the single shard they all flow through.
+	waitFor(t, 20*time.Second, "all submissions done while a poller is frozen mid-TryPop", func() bool {
+		if fault.Suspended(fpInjectorBeforePop) != 1 {
+			return false
+		}
+		for _, h := range handles {
+			if h.Err() == nil {
+				select {
+				case <-h.Done():
+				default:
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for i, h := range handles {
+		if err := h.Err(); err != nil {
+			t.Fatalf("submission %d failed under the frozen poller: %v", i, err)
+		}
+	}
+	if got := count.Load(); got != subs*5 {
+		t.Fatalf("ran %d of %d tasks with a poller frozen", got, subs*5)
+	}
+	fault.Resume(fpInjectorBeforePop)
+	if err := stop(); err == nil {
+		t.Fatal("Serve returned nil after cancellation")
+	}
+}
+
+// Regression test for the backoff-visibility bug (satellite fix in
+// lifecycle.go): a worker napping in the exponential-backoff phase used to
+// be invisible to signalWork — not counted idle, parked flag never set —
+// so a submission arriving mid-nap waited out the rest of the sleep
+// instead of being picked up immediately. The unified park path publishes
+// the idle count and parked flag for naps too; this test freezes the
+// worker in the nap window (flags published, sleep not begun) and proves a
+// Submit finds it signallable and its wake token cuts the nap short.
+func TestChaosBackoffNapVisibleToSignal(t *testing.T) {
+	defer fault.Reset()
+	fault.Enable(fpBackoffBeforeSleep, fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	p := New(Config{Workers: 1})
+	stop := startServing(t, p)
+	// The lone worker finds nothing, burns through the hot phase, and
+	// freezes entering its first backoff nap.
+	waitFor(t, 10*time.Second, "worker frozen entering its backoff nap", func() bool {
+		return fault.Suspended(fpBackoffBeforeSleep) == 1
+	})
+	// The fix under test: mid-backoff the worker is visible to producers —
+	// counted idle and flying its parked flag — exactly like a fully
+	// parked one.
+	if got := p.idle.Load(); got < 1 {
+		t.Fatalf("idle count = %d with a worker in the backoff window, want >= 1", got)
+	}
+	if !p.workers[0].parked.Load() {
+		t.Fatal("parked flag down in the backoff window: the napping worker is invisible to signalWork")
+	}
+
+	wakes0 := p.Stats().Wakes
+	var ran atomic.Bool
+	h, err := p.Submit(func(*Worker) { ran.Store(true) })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// signalWork saw the flag and deposited a wake token; once resumed,
+	// the worker's select takes the token branch instead of sleeping out
+	// the nap, and the submission runs.
+	fault.Resume(fpBackoffBeforeSleep)
+	if werr := h.Wait(); werr != nil {
+		t.Fatalf("Wait: %v", werr)
+	}
+	if !ran.Load() {
+		t.Fatal("submission never ran")
+	}
+	if got := p.Stats().Wakes; got <= wakes0 {
+		t.Fatalf("Stats.Wakes = %d, want > %d: the nap was slept out rather than cut short by the wake token", got, wakes0)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("Serve returned nil after cancellation")
+	}
+}
+
 // BenchmarkChaosSuspendedWorkers sweeps throughput against the number of
 // worker goroutines frozen at the loop-level steal point: the quantitative
 // form of the non-blocking claim (k frozen workers cost at most their k

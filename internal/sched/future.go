@@ -5,10 +5,10 @@ import (
 	"sync/atomic"
 )
 
-// poolAbortedError is the panic value Join raises when the run was aborted
-// — by another task's panic or by a context cancellation — while this
-// future can no longer complete. cause holds the original panic value or
-// the cancellation error.
+// poolAbortedError is the panic value Join raises when the submission was
+// aborted — by another of its tasks panicking, by a context cancellation,
+// or by the pool stopping — while this future can no longer complete.
+// cause holds the original panic value or the cancellation error.
 type poolAbortedError struct{ cause any }
 
 func (e poolAbortedError) Error() string { return "sched: pool run aborted" }
@@ -42,30 +42,35 @@ func Fork[T any](w *Worker, fn func(*Worker) T) *Future[T] {
 // current worker). When no runnable work is visible anywhere, Join blocks
 // on the future's channel rather than spinning — the same
 // park-instead-of-spin discipline as the worker loop (lifecycle.go) — and
-// is woken by the forked task's completion or, if another task panics, by
-// the run's abort, in which case it panics with poolAbortedError so the
-// abort also unwinds joiners that could otherwise wait forever. The abort
-// check also runs between helped tasks: a joiner with a deep backlog
-// unwinds at the next task boundary instead of draining the backlog first
-// (the worker loop makes the same between-tasks check).
+// is woken by the forked task's completion or, if the joiner's submission
+// aborts (another of its tasks panicked, its context was cancelled, the
+// pool stopped), by the submission's abort channel, in which case it
+// panics with poolAbortedError so the abort also unwinds joiners that
+// could otherwise wait forever. The abort check also runs between helped
+// tasks: a joiner with a deep backlog unwinds at the next task boundary
+// instead of draining the backlog first (the worker loop makes the same
+// between-tasks check). In serve mode a helped task may belong to a
+// different submission — execOrDrop charges and aborts per the helped
+// task's own run, and exec restores the joiner's run afterwards.
 func (f *Future[T]) Join(w *Worker) T {
+	r := w.currentRun()
 	for !f.done.Load() {
 		select {
-		case <-w.pool.abort:
+		case <-r.abort:
 			if !f.done.Load() {
-				// The abort-channel receive orders these reads after the
-				// aborter's write: panicVal for a task panic, cancelErr for
-				// a cancelled RunContext.
-				cause := w.pool.panicVal
+				// The abort-channel receive orders the cause reads after
+				// the aborter's writes: panicVal for a task panic, err for
+				// a cancellation or service stop.
+				cause := any(r.panicVal)
 				if cause == nil {
-					cause = w.pool.cancelErr
+					cause = r.err
 				}
 				panic(poolAbortedError{cause: cause})
 			}
 		default:
 		}
 		if t := w.tryGetTask(); t != nil {
-			w.exec(t)
+			w.execOrDrop(t)
 			continue
 		}
 		// No runnable work found. If some deque still appears non-empty a
@@ -78,11 +83,11 @@ func (f *Future[T]) Join(w *Worker) T {
 		}
 		select {
 		case <-f.ch:
-		case <-w.pool.abort:
+		case <-r.abort:
 			if !f.done.Load() {
-				cause := w.pool.panicVal
+				cause := any(r.panicVal)
 				if cause == nil {
-					cause = w.pool.cancelErr
+					cause = r.err
 				}
 				panic(poolAbortedError{cause: cause})
 			}
@@ -93,11 +98,11 @@ func (f *Future[T]) Join(w *Worker) T {
 			}
 			select {
 			case <-f.ch:
-			case <-w.pool.abort:
+			case <-r.abort:
 				if !f.done.Load() {
-					cause := w.pool.panicVal
+					cause := any(r.panicVal)
 					if cause == nil {
-						cause = w.pool.cancelErr
+						cause = r.err
 					}
 					panic(poolAbortedError{cause: cause})
 				}

@@ -49,26 +49,27 @@ func newGroupChan() *chan struct{} {
 
 // Wait blocks until every task spawned into the group (so far) has
 // finished, executing other tasks while it waits. Like Future.Join, Wait
-// checks the run's abort between helped tasks, so a cancelled or panicked
-// run unwinds a helping waiter at the next task boundary instead of after
-// it drains its backlog.
+// checks its own submission's abort between helped tasks, so a cancelled
+// or panicked submission unwinds a helping waiter at the next task
+// boundary instead of after it drains its backlog.
 func (g *Group) Wait(w *Worker) {
+	r := w.currentRun()
 	for g.pending.Load() > 0 {
 		select {
-		case <-w.pool.abort:
+		case <-r.abort:
 			if g.pending.Load() > 0 {
-				// The abort-channel receive orders these reads after the
-				// aborter's write (see Future.Join).
-				cause := w.pool.panicVal
+				// The abort-channel receive orders the cause reads after
+				// the aborter's writes (see Future.Join).
+				cause := any(r.panicVal)
 				if cause == nil {
-					cause = w.pool.cancelErr
+					cause = r.err
 				}
 				panic(poolAbortedError{cause: cause})
 			}
 		default:
 		}
 		if t := w.tryGetTask(); t != nil {
-			w.exec(t)
+			w.execOrDrop(t)
 			continue
 		}
 		if w.anyVisibleWork() {
@@ -81,11 +82,11 @@ func (g *Group) Wait(w *Worker) {
 		}
 		select {
 		case <-*ch:
-		case <-w.pool.abort:
+		case <-r.abort:
 			if g.pending.Load() > 0 {
-				cause := w.pool.panicVal
+				cause := any(r.panicVal)
 				if cause == nil {
-					cause = w.pool.cancelErr
+					cause = r.err
 				}
 				panic(poolAbortedError{cause: cause})
 			}

@@ -9,13 +9,17 @@
 // appears (see lifecycle.go for the protocol and why it preserves the
 // paper's yield semantics).
 //
-// Two APIs are provided:
+// Three APIs are provided:
 //
 //   - a task API (Spawn, Fork/Join futures, ParallelFor/Reduce) in the style
-//     of the Hood threads library the authors built on this scheduler, and
+//     of the Hood threads library the authors built on this scheduler,
 //   - a dag runner (RunGraph) that executes an explicit computation dag with
 //     known work and critical-path length, for benchmark experiments that
-//     check the paper's T1/P_A + Tinf*P/P_A bound on real hardware.
+//     check the paper's T1/P_A + Tinf*P/P_A bound on real hardware, and
+//   - a service API (Serve, Submit, Handle — serve.go) that keeps the
+//     workers alive across submissions arriving concurrently from any
+//     goroutine, with bounded-injector admission control. Run and
+//     RunContext are one-submission sessions of the same engine.
 //
 // For the paper's ablations, the pool can be configured with a mutex-guarded
 // deque instead of the non-blocking one, with yields disabled, and with
@@ -43,13 +47,15 @@ var (
 	fpLoopEnter = fault.Register("sched.loop.enter",
 		"worker loop: before the handoff check and first pop (crash here strands the root handoff)")
 	fpLoopBeforeSteal = fault.Register("sched.loop.beforeSteal",
-		"worker loop: idle, about to attempt a steal (loop-level steals only)")
+		"worker loop: idle, about to poll the injector and attempt a steal (loop-level steals only)")
 	fpStealBeforePopTop = fault.Register("sched.steal.beforePopTop",
 		"stealOnce: victim chosen, PopTop not yet issued (any steal, including Join helps)")
 	fpExecBeforeRun = fault.Register("sched.exec.beforeRun",
 		"exec: termination accounting armed, task function not yet entered")
 	fpParkBeforeSleep = fault.Register("sched.park.beforeSleep",
 		"park: parked flag published and re-check passed, not yet blocked on the token channel")
+	fpBackoffBeforeSleep = fault.Register("sched.backoff.beforeSleep",
+		"backoff: idle flags published and re-check passed, timed nap not yet entered")
 )
 
 // DequeKind selects the deque implementation workers use.
@@ -78,6 +84,20 @@ type Config struct {
 	// order at the cost of stealable parallelism. Defaults to
 	// deque.DefaultCapacity.
 	DequeCapacity int
+	// InjectorShards is the number of bounded MPMC injector queues external
+	// submissions (Pool.Submit) are spread over. More shards cost workers a
+	// slightly longer poll scan but cut contention between concurrent
+	// submitters. Defaults to max(1, min(8, Workers/4)).
+	InjectorShards int
+	// InjectorCapacity bounds each injector shard (rounded up to a power of
+	// two, minimum 2); a submission finding every shard full is shed per
+	// Overload.
+	// This is the service mode's admission-control knob. Defaults to 1024.
+	InjectorCapacity int
+	// Overload selects the shed policy for submissions that find every
+	// injector shard full: ShedReject (default) returns ErrOverloaded,
+	// ShedCallerRuns executes the submission on the submitting goroutine.
+	Overload OverloadPolicy
 	// DisableYield removes the runtime.Gosched call between steal attempts
 	// (the paper's yield ablation). Only for experiments: under
 	// multiprogramming (more workers than GOMAXPROCS) disabling yields lets
@@ -100,7 +120,9 @@ type Config struct {
 	Pin bool
 	// RoundRobinVictim replaces uniformly random victim selection with a
 	// deterministic rotation (the design-choice-5 ablation; the paper's
-	// analysis requires random victims).
+	// analysis requires random victims). The rotation cursors are reset at
+	// session start so identical seeded runs see identical victim
+	// sequences.
 	RoundRobinVictim bool
 	// StallTimeout enables the stall watchdog (watchdog.go): a worker
 	// goroutine that makes no scheduler-visible progress for this window
@@ -113,41 +135,53 @@ type Config struct {
 	OnStall func(StallReport)
 }
 
-// Task is the unit of work handled by the scheduler.
+// Task is the unit of work handled by the scheduler. Every task belongs to
+// exactly one submission (its run record): spawned tasks inherit the
+// spawner's, so a worker executing tasks of interleaved submissions always
+// charges the right pending counter and observes the right abort.
 type Task struct {
-	fn func(*Worker)
+	fn  func(*Worker)
+	run *run
 }
 
-// Pool is a work-stealing scheduler instance. Create one with New, then use
-// Run or RunContext (possibly several times in sequence). A Pool must not
-// be used by two runs concurrently; doing so panics with a clear error
-// rather than corrupting the pending counter.
+// Pool is a work-stealing scheduler instance. Create one with New, then
+// either use the batch API — Run or RunContext, possibly several times in
+// sequence — or start the service engine with Serve and feed it with
+// Submit from any goroutine (serve.go). A Pool hosts one engine at a time;
+// overlapping Run/RunContext/Serve calls panic with a clear error rather
+// than corrupting the session state.
 type Pool struct {
 	cfg           Config
 	parkThreshold int
 	workers       []*Worker
-	pending       atomic.Int64
-	stopped       atomic.Bool
-	running       atomic.Bool  // guards against concurrent Run/RunContext
-	idle          atomic.Int32 // workers currently parked (lifecycle.go)
-	dropped       atomic.Int64 // stale tasks drained between runs
-	cancelledN    atomic.Int64 // tasks dropped by a cancelled RunContext
-	stalls        atomic.Int64 // stall episodes surfaced by the watchdog
+	inject        []*injector
+	shardRR       atomic.Uint32 // submission shard rotation (injector.go)
+	stopped       atomic.Bool   // session shutdown flag: the loop-exit condition
+	running       atomic.Bool   // guards against concurrent Run/RunContext/Serve
+	serving       atomic.Bool   // a Serve is accepting Submits
+	idle          atomic.Int32  // workers parked or in a backoff nap (lifecycle.go)
+	dropped       atomic.Int64  // tasks discarded after a panic-aborted submission
+	cancelledN    atomic.Int64  // tasks discarded by a cancelled/stopped submission
+	stalls        atomic.Int64  // stall episodes surfaced by the watchdog
+	submitted     atomic.Int64  // submissions accepted onto the injector
+	rejected      atomic.Int64  // submissions rejected with ErrOverloaded
+	callerRuns    atomic.Int64  // submissions shed to the caller (ShedCallerRuns)
 	wg            sync.WaitGroup
 
-	// done is closed by the worker whose task decrement drives pending to
-	// zero: the run is over, and the close wakes every parked worker.
-	done chan struct{}
+	// Active-submission registry: every in-flight run, registered at
+	// submission and removed by its finishOnce. The shutdown and
+	// engine-failure paths abort the whole set.
+	runMu  sync.Mutex
+	active map[*run]struct{}
 
-	// Abort plumbing, shared by the two ways a run ends early: the first
-	// panicking task (recordPanic) or a context cancellation (cancelRun).
-	// Whichever happens first wins abortOnce, sets stopped, and closes
-	// abort — which wakes any Join or parked worker that would otherwise
-	// wait forever. Run re-panics panicVal; RunContext returns cancelErr.
-	abortOnce sync.Once
-	panicVal  any
-	cancelErr error
-	abort     chan struct{}
+	// Per-session channels, created by startSession before any worker
+	// starts (the go statement is the publication edge). quit is closed by
+	// endSession to wake parked workers for shutdown; fail is closed by
+	// engineFail when a worker loop dies, with failVal readable after.
+	quitCh   chan struct{}
+	failCh   chan struct{}
+	failOnce sync.Once
+	failVal  any
 }
 
 // Worker is the execution context passed to every task; it identifies the
@@ -157,8 +191,9 @@ type Worker struct {
 	id      int
 	dq      deque.Dequer[Task]
 	rng     *rand.Rand
-	rr      int   // round-robin victim cursor
-	handoff *Task // root task fallback slot (submitRoot), consumed by loop
+	rr      int   // round-robin victim cursor; reset each session (determinism)
+	handoff *Task // root task fallback slot (startSession), consumed by loop
+	run     *run  // submission of the task currently executing (exec)
 
 	parkCh chan struct{} // capacity-1 wake token (lifecycle.go)
 	parked atomic.Bool
@@ -198,13 +233,28 @@ func New(cfg Config) *Pool {
 	if cfg.ParkThreshold < 0 {
 		panic(fmt.Sprintf("sched: park threshold %d", cfg.ParkThreshold))
 	}
+	if cfg.InjectorShards == 0 {
+		cfg.InjectorShards = max(1, min(8, cfg.Workers/4))
+	}
+	if cfg.InjectorShards < 1 {
+		panic(fmt.Sprintf("sched: %d injector shards", cfg.InjectorShards))
+	}
+	if cfg.InjectorCapacity == 0 {
+		cfg.InjectorCapacity = 1024
+	}
+	if cfg.InjectorCapacity < 1 {
+		panic(fmt.Sprintf("sched: injector capacity %d", cfg.InjectorCapacity))
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x5EED
 	}
-	p := &Pool{cfg: cfg, parkThreshold: cfg.ParkThreshold}
+	p := &Pool{cfg: cfg, parkThreshold: cfg.ParkThreshold, active: map[*run]struct{}{}}
 	if p.parkThreshold == 0 {
 		p.parkThreshold = max(8, 2*cfg.Workers)
+	}
+	for i := 0; i < cfg.InjectorShards; i++ {
+		p.inject = append(p.inject, newInjector(cfg.InjectorCapacity))
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		var dq deque.Dequer[Task]
@@ -253,39 +303,24 @@ func (p *Pool) Run(root func(*Worker)) {
 // If a task panics before any cancellation, RunContext re-panics with the
 // original value, exactly like Run. The pool remains reusable after either
 // outcome.
+//
+// Since the service refactor (serve.go), Run and RunContext are
+// one-submission sessions of the service engine: the same worker loops,
+// run records, and abort plumbing serve both APIs, so the batch tests and
+// chaos suite exercise the engine Submit feeds.
 func (p *Pool) RunContext(ctx context.Context, root func(*Worker)) error {
 	if !p.running.CompareAndSwap(false, true) {
 		panic("sched: Pool.Run/RunContext called concurrently with a run already in flight on this pool (a Pool serves one run at a time)")
 	}
 	defer p.running.Store(false)
-	p.stopped.Store(false)
-	p.abortOnce = sync.Once{}
-	p.panicVal = nil
-	p.cancelErr = nil
-	p.abort = make(chan struct{})
-	p.done = make(chan struct{})
-	p.drainDeques()
-	// A root stranded in a handoff slot by an aborted run must be dropped
-	// here, not executed as a ghost of the previous run. Cleared inline
-	// (before the forks below) rather than in drain so the ordering against
-	// the worker goroutines is a lexical fork edge.
-	for _, w := range p.workers {
-		if w.handoff != nil {
-			w.handoff = nil
-			p.dropped.Add(1)
-		}
-	}
-	p.pending.Store(1)
-	p.submitRoot(&Task{fn: root})
+	r := newRun(p)
+	p.register(r)
 	if err := ctx.Err(); err != nil {
 		// Already cancelled: abort before any worker starts, so the root
-		// handoff/push is dropped (and counted) rather than executed.
-		p.cancelRun(err)
+		// handoff/push is discarded (and counted) rather than executed.
+		r.abortWith(runCancelled, err, nil)
 	}
-	p.wg.Add(len(p.workers))
-	for _, w := range p.workers {
-		go w.loop()
-	}
+	p.startSession(&Task{fn: root, run: r})
 
 	// Auxiliary goroutines: the context watcher and the stall watchdog.
 	// Both exit when the run ends (stopAux) or the run aborts.
@@ -297,9 +332,8 @@ func (p *Pool) RunContext(ctx context.Context, root func(*Worker)) error {
 			defer aux.Done()
 			select {
 			case <-ctx.Done():
-				p.cancelRun(ctx.Err())
-			case <-p.done:
-			case <-p.abort:
+				r.abortWith(runCancelled, ctx.Err(), nil)
+			case <-r.finished:
 			case <-stopAux:
 			}
 		}()
@@ -312,49 +346,135 @@ func (p *Pool) RunContext(ctx context.Context, root func(*Worker)) error {
 		}()
 	}
 
-	p.wg.Wait()
+	// The run ends — every task executed, or the submission aborted by a
+	// panic, a cancellation, or an engine failure — and the session comes
+	// down with it.
+	<-r.finished
+	p.endSession()
 	close(stopAux)
 	aux.Wait()
 
-	if p.cancelErr != nil {
-		// Quiescent again: every worker has exited (wg.Wait above), so the
+	if r.state.Load() == runCancelled {
+		// Quiescent again: every worker has exited (endSession), so the
 		// run goroutine may drain what the cancelled run left behind —
 		// including a root the abort stranded in its handoff slot.
-		p.drain(&p.cancelledN)
-		for _, w := range p.workers {
-			if w.handoff != nil {
-				w.handoff = nil
-				p.cancelledN.Add(1)
-			}
-		}
-		return p.cancelErr
+		p.drainByRun()
+		return r.err
 	}
-	if p.panicVal != nil {
-		panic(p.panicVal)
+	if r.panicVal != nil {
+		// A panic-aborted run deliberately leaves its carcass for the
+		// next session's begin-drain (startSession), preserving the
+		// historical TasksDropped accounting and the lexical ordering the
+		// static race analysis of the handoff slot relies on.
+		panic(r.panicVal)
 	}
 	return nil
 }
 
-// drainDeques empties every worker's deque of tasks left over from a
-// previous aborted run, so a stale task can neither execute in the next
-// run nor decrement its pending counter out from under it, and clears
-// stale wake tokens. RunContext pairs it with the inline handoff-slot
-// sweep (same hazard, different storage).
-func (p *Pool) drainDeques() { p.drain(&p.dropped) }
-
-// drain empties every deque into the given counter and clears stale wake
-// tokens. Callers run only in quiescent phases — before a run's workers
-// start, or after wg.Wait of a cancelled run — so the calling goroutine is
-// a legitimate owner for the PopBottom calls. The handoff slots are
-// cleared separately, inline in RunContext (see clearHandoffs there): the
-// plain handoff field needs its ordering against the worker goroutines to
-// be lexically visible to the static race detector.
+// startSession resets the per-session state, drains everything a previous
+// aborted session left behind — deque tasks, injector carcasses, stranded
+// handoff roots, stale wake tokens — so stale work can neither execute in
+// the new session nor corrupt its accounting, delivers the batch API's
+// root (if any), and forks the worker loops. It also resets the
+// round-robin victim cursors, so two identical seeded sessions see
+// identical victim sequences (the rng deliberately is not reset: random
+// victim selection is the paper's stochastic model, and reseeding it would
+// only launder scheduling nondeterminism into false reproducibility).
 //
-//abp:owner quiescent phase: no workers are running between runs
-func (p *Pool) drain(counter *atomic.Int64) {
+// Reset, root delivery, and fork deliberately share one function body: the
+// caller holds the running guard and no workers exist yet, so the calling
+// goroutine is a legitimate owner for every deque, and every plain write
+// here is ordered against the worker goroutines by the lexical fork edge
+// of the go statements below — the ordering the static race detector
+// checks.
+//
+// The root, when non-nil, goes to worker 0 while the pool is still
+// quiescent — the batch API's fast path, bypassing the injector the way
+// the paper hands the root thread to process zero before the loop starts.
+// The fresh deque cannot refuse it with the stock deques, but a refusal
+// must not be silently dropped (it would strand the submission's pending
+// counter at 1): fall back to the direct handoff slot, which worker 0's
+// loop consumes before its first pop — the same run-it-anyway guarantee
+// Spawn provides via inline execution.
+//
+//abp:owner quiescent phase: workers have not been started yet
+func (p *Pool) startSession(root *Task) {
+	p.stopped.Store(false)
+	p.quitCh = make(chan struct{})
+	p.failCh = make(chan struct{})
+	p.failOnce = sync.Once{}
+	p.failVal = nil
+	// Sweep carcasses a previous aborted session left behind (including a
+	// root stranded in a handoff slot, which must not execute as a ghost
+	// of the session that submitted it), accounted per each task's own
+	// submission: a panic's leftovers are drops, a cancelled or stopped
+	// submission's are cancellations.
+	p.drainByRun()
 	for _, w := range p.workers {
-		for w.dq.PopBottom() != nil {
-			counter.Add(1)
+		w.rr = 0
+	}
+	if root != nil {
+		if !p.workers[0].dq.PushBottom(root) {
+			p.workers[0].handoff = root
+		}
+	}
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		go w.loop()
+	}
+}
+
+// endSession stops the worker loops and waits for them: stopped is the
+// loop-exit condition, and the quit close wakes every parked or napping
+// worker so none sleeps through shutdown.
+func (p *Pool) endSession() {
+	p.stopped.Store(true)
+	close(p.quitCh)
+	p.wg.Wait()
+}
+
+// drainByRun is the quiescent-phase sweep — run at the end of a cancelled
+// session and again at the start of every session: it empties the injector shards,
+// the deques, and the handoff slots, accounting every leftover task under
+// the counter its submission's abort cause selects — TasksDropped for a
+// panic, TasksCancelled for a cancellation or service stop. Leftovers can
+// only belong to aborted submissions (a completed one has, by definition
+// of its pending counter, no tasks left anywhere).
+//
+//abp:owner quiescent phase: every worker has exited before the sweep
+func (p *Pool) drainByRun() {
+	// Re-assert quiescence: every worker loop has exited (endSession ran
+	// their deferred wg.Done), so this Wait returns immediately — and it
+	// is the lexical join edge that orders the plain handoff writes below
+	// against the dead worker goroutines for the static race detector.
+	p.wg.Wait()
+	account := func(t *Task) {
+		if t.run.state.Load() == runPanicked {
+			p.dropped.Add(1)
+		} else {
+			p.cancelledN.Add(1)
+		}
+	}
+	for _, q := range p.inject {
+		for {
+			t := q.TryPop()
+			if t == nil {
+				break
+			}
+			account(t)
+		}
+	}
+	for _, w := range p.workers {
+		for {
+			t := w.dq.PopBottom()
+			if t == nil {
+				break
+			}
+			account(t)
+		}
+		if t := w.handoff; t != nil {
+			w.handoff = nil
+			account(t)
 		}
 		select {
 		case <-w.parkCh:
@@ -363,49 +483,17 @@ func (p *Pool) drain(counter *atomic.Int64) {
 	}
 }
 
-// submitRoot hands the root task to worker 0. After drainDeques the deque
-// is empty, so PushBottom cannot fail with the stock deques — but a
-// refusal must not be silently dropped (it would deadlock wg.Wait with
-// pending stuck at 1): fall back to the direct handoff slot, which worker
-// 0's loop consumes before its first pop. This is the same run-it-anyway
-// guarantee Spawn provides via inline execution.
-//
-//abp:owner quiescent phase: workers have not been started yet
-func (p *Pool) submitRoot(t *Task) {
-	if !p.workers[0].dq.PushBottom(t) {
-		p.workers[0].handoff = t
-	}
-}
-
-// recordPanic notes the first task (or worker-loop) panic and aborts the
-// run. If a cancellation already aborted it, the panic is dropped — the
-// cancellation is what the caller observes.
-func (p *Pool) recordPanic(v any) {
-	p.abortOnce.Do(func() {
-		p.panicVal = v
-		p.stopped.Store(true)
-		close(p.abort)
-	})
-}
-
-// cancelRun aborts the run because its context was cancelled. First abort
-// wins: a panic recorded earlier keeps priority and still re-panics from
-// RunContext.
-func (p *Pool) cancelRun(err error) {
-	p.abortOnce.Do(func() {
-		p.cancelErr = err
-		p.stopped.Store(true)
-		close(p.abort)
-	})
-}
-
 // Stats sums the per-worker counters accumulated so far (across runs). It
 // is safe to call concurrently with a running Run.
 func (p *Pool) Stats() Stats {
 	s := Stats{
-		TasksDropped:   p.dropped.Load(),
-		TasksCancelled: p.cancelledN.Load(),
-		StallsDetected: p.stalls.Load(),
+		TasksDropped:     p.dropped.Load(),
+		TasksCancelled:   p.cancelledN.Load(),
+		StallsDetected:   p.stalls.Load(),
+		Submitted:        p.submitted.Load(),
+		SubmitsRejected:  p.rejected.Load(),
+		SubmitsCallerRun: p.callerRuns.Load(),
+		InjectorBacklog:  p.injectorBacklog(),
 	}
 	for _, w := range p.workers {
 		s.TasksRun += w.tasksRun.Load()
@@ -419,6 +507,16 @@ func (p *Pool) Stats() Stats {
 		s.BackoffNanos += w.backoffNanos.Load()
 	}
 	return s
+}
+
+// injectorBacklog sums the momentary shard occupancy (an estimate, like
+// every mid-flight Stats read).
+func (p *Pool) injectorBacklog() int64 {
+	var n int64
+	for _, q := range p.inject {
+		n += int64(q.Len())
+	}
+	return n
 }
 
 // stealOnce performs one steal attempt against a victim chosen per the
@@ -449,21 +547,58 @@ func (w *Worker) stealOnce() *Task {
 	return t
 }
 
-// exec runs a task and performs termination accounting. A panicking task
-// aborts the whole run; the panic value surfaces from Pool.Run. The worker
-// whose decrement drives pending to zero ends the run: it sets stopped
-// (the loop-exit condition) and closes done, which wakes every parked
-// worker for a clean shutdown.
-func (w *Worker) exec(t *Task) {
-	defer func() {
-		if r := recover(); r != nil {
-			w.pool.recordPanic(r)
+// execOrDrop runs a task unless its submission has aborted, in which case
+// the task is discarded — never executed into a dead submission — and
+// accounted under the abort cause's counter. This is the service-mode
+// replacement for the old between-runs drain: tasks of interleaved
+// submissions share the deques, so staleness is decided per task at pop
+// time, not per pool at session boundaries.
+func (w *Worker) execOrDrop(t *Task) {
+	r := t.run
+	if s := r.state.Load(); s != runLive {
+		if s == runPanicked {
+			w.pool.dropped.Add(1)
+		} else {
+			w.pool.cancelledN.Add(1)
 		}
-		w.tasksRun.Add(1)
 		w.progress.Add(1)
-		if w.pool.pending.Add(-1) == 0 {
-			w.pool.stopped.Store(true)
-			close(w.pool.done)
+		if r.pending.Add(-1) == 0 {
+			r.complete() // no-op: the abort already finished the run
+		}
+		return
+	}
+	w.exec(t)
+}
+
+// exec runs a task and performs termination accounting against the task's
+// submission. A panicking task aborts its submission (and only it); the
+// panic value surfaces from Run or from the submission's Handle. The
+// worker whose decrement drives the submission's pending counter to zero
+// completes it, which closes its finished channel — waking its Handle and,
+// for a batch session, the Run goroutine that brings the session down.
+//
+//abp:owner exec runs only on the goroutine that owns the worker (its loop, or the submitter for the ephemeral caller-runs worker)
+func (w *Worker) exec(t *Task) {
+	r := t.run
+	prev := w.run
+	w.run = r
+	w.runTask(t, r)
+	w.run = prev
+	w.tasksRun.Add(1)
+	w.progress.Add(1)
+	if r.pending.Add(-1) == 0 {
+		r.complete()
+	}
+}
+
+// runTask invokes the task body under the per-task recover. A panic is
+// swallowed here — recorded as the submission's abort cause — so exec's
+// termination accounting above always runs and the worker loop survives
+// the task.
+func (w *Worker) runTask(t *Task, r *run) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.abortWith(runPanicked, nil, rec)
 		}
 	}()
 	fault.Point(fpExecBeforeRun)
@@ -473,23 +608,33 @@ func (w *Worker) exec(t *Task) {
 // ID returns the worker's index in [0, Workers).
 func (w *Worker) ID() int { return w.id }
 
+// currentRun returns the run record of the task currently executing on
+// this worker. Join and Group.Wait read it to watch their own
+// submission's abort; like the deque, the field belongs to the goroutine
+// running the worker (set and restored only by exec), which is exactly
+// the goroutine those helpers document they must be called from.
+//
+//abp:owner only the goroutine running the worker reads its current run
+func (w *Worker) currentRun() *run { return w.run }
+
 // Pool returns the owning pool.
 func (w *Worker) Pool() *Pool { return w.pool }
 
-// Spawn schedules fn to run asynchronously. It pushes the task onto the
-// bottom of the caller's deque, where it is available to thieves, and
-// wakes a parked worker if one exists; if the deque is full the task runs
-// inline instead (correct, just not stealable). The handshake directive
-// makes abpvet verify the producer half of the Dekker protocol: the push
-// (PushBottom's internal atomic store) must dominate the signalWork scan of
-// the parked flags.
+// Spawn schedules fn to run asynchronously as part of the calling task's
+// submission. It pushes the task onto the bottom of the caller's deque,
+// where it is available to thieves, and wakes a parked worker if one
+// exists; if the deque is full the task runs inline instead (correct, just
+// not stealable). The handshake directive makes abpvet verify the producer
+// half of the Dekker protocol: the push (PushBottom's internal atomic
+// store) must dominate the signalWork scan of the parked flags.
 //
 //abp:owner tasks execute only on worker goroutines, so the receiver owns w.dq
 //abp:handshake store=PushBottom load=signalWork
 func (w *Worker) Spawn(fn func(*Worker)) {
 	w.spawns.Add(1)
-	w.pool.pending.Add(1)
-	t := &Task{fn: fn}
+	r := w.run
+	r.pending.Add(1)
+	t := &Task{fn: fn, run: r}
 	if !w.dq.PushBottom(t) {
 		w.inlineRuns.Add(1)
 		w.exec(t)
@@ -509,12 +654,18 @@ func (w *Worker) tryGetTask() *Task {
 	return w.stealOnce()
 }
 
-// anyVisibleWork reports whether any deque in the pool appears non-empty.
-// A false return together with an incomplete future means the future's task
-// is currently running on some worker, so blocking is safe. The parking
-// protocol relies on the same property: see park in lifecycle.go and the
-// memory-ordering note on deque.Dequer.Len.
+// anyVisibleWork reports whether any injector shard or deque in the pool
+// appears non-empty. A false return together with an incomplete future
+// means the future's task is currently running on some worker, so blocking
+// is safe. The parking protocol relies on the same property: see park in
+// lifecycle.go and the memory-ordering notes on deque.Dequer.Len and
+// injector.Len.
 func (w *Worker) anyVisibleWork() bool {
+	for _, q := range w.pool.inject {
+		if q.Len() > 0 {
+			return true
+		}
+	}
 	for _, o := range w.pool.workers {
 		if o.dq.Len() > 0 {
 			return true

@@ -15,22 +15,28 @@ type Stats struct {
 	TasksRun       int64
 	Spawns         int64
 	InlineRuns     int64 // spawns executed inline because a deque was full
-	TasksDropped   int64 // stale tasks drained from deques after an aborted run
-	TasksCancelled int64 // tasks discarded unrun by a cancelled RunContext
+	TasksDropped   int64 // stale tasks discarded after a panic-aborted submission
+	TasksCancelled int64 // tasks discarded unrun by a cancelled or stopped submission
 	StallsDetected int64 // stall episodes surfaced by the watchdog (watchdog.go)
 	Steals         int64
 	StealAttempts  int64
 	Yields         int64
-	Parks          int64 // times a worker blocked on its park channel
-	Wakes          int64 // parked workers woken by a new-work signal
-	BackoffNanos   int64 // total time idle workers spent in backoff sleeps
+	Parks          int64 // times a worker blocked outright on its park channel
+	Wakes          int64 // idle workers (parked or napping) woken by a work signal
+	BackoffNanos   int64 // total time idle workers spent in backoff naps
+
+	// Service-mode counters (serve.go).
+	Submitted        int64 // submissions accepted onto the injector shards
+	SubmitsRejected  int64 // submissions rejected with ErrOverloaded (ShedReject)
+	SubmitsCallerRun int64 // submissions shed to the caller (ShedCallerRuns)
+	InjectorBacklog  int64 // momentary injector occupancy at the Stats call
 }
 
 // String renders the counters as an aligned two-column table, one counter
 // per line (the table cmd/abpbench -stats prints).
 func (s Stats) String() string {
 	var b strings.Builder
-	row := func(name string, v any) { fmt.Fprintf(&b, "%-15s %14v\n", name, v) }
+	row := func(name string, v any) { fmt.Fprintf(&b, "%-17s %14v\n", name, v) }
 	row("tasks-run", s.TasksRun)
 	row("spawns", s.Spawns)
 	row("inline-runs", s.InlineRuns)
@@ -43,5 +49,9 @@ func (s Stats) String() string {
 	row("parks", s.Parks)
 	row("wakes", s.Wakes)
 	row("backoff", time.Duration(s.BackoffNanos).Round(time.Microsecond))
+	row("submitted", s.Submitted)
+	row("submits-rejected", s.SubmitsRejected)
+	row("submits-callerrun", s.SubmitsCallerRun)
+	row("injector-backlog", s.InjectorBacklog)
 	return b.String()
 }

@@ -6,8 +6,11 @@
 // task stuck in a syscall, a goroutine suspended by a fault injection, a
 // deadlocked user callback) into an unexplained hang of the whole job. The
 // watchdog closes the gap: when Config.StallTimeout is set, a monitor
-// goroutine runs alongside each run and reports any worker goroutine that
-// makes no scheduler-visible progress for a full window while unparked.
+// goroutine runs alongside each session — a batch Run or a whole Serve —
+// and reports any worker goroutine that makes no scheduler-visible
+// progress for a full window while unparked. In serve mode one watchdog
+// covers every submission at once: a stall is a property of a worker, not
+// of any particular submission, and the report carries the worker index.
 //
 // Progress is the per-worker progress counter, ticked on every loop
 // iteration and every task completion. Parked workers are exempt (waiting
@@ -34,8 +37,8 @@ type StallReport struct {
 }
 
 // watchdog polls worker progress until stop closes, reporting stalls per
-// the package comment. It runs on its own goroutine, started by RunContext
-// when Config.StallTimeout > 0.
+// the package comment. It runs on its own goroutine, started by the
+// session controller (RunContext or Serve) when Config.StallTimeout > 0.
 func (p *Pool) watchdog(stop <-chan struct{}) {
 	window := p.cfg.StallTimeout
 	interval := window / 4
