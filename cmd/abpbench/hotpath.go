@@ -1,0 +1,323 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"worksteal/internal/deque"
+	"worksteal/internal/sched"
+	"worksteal/internal/table"
+	"worksteal/internal/workload"
+)
+
+// The hotpath experiment is the measurement half of the abporder analyzer:
+// it times the deque owner operations (PushBottom/PopBottom, the paper's
+// Figure 5 fast path) and the thief's PopTop CAS with sequentially
+// consistent atomics versus the proof-gated RelaxedAtomics downgrades, and
+// then runs a full spawn-tree graph under both modes so the microbenchmark
+// delta can be read against end-to-end effect. Go's sync/atomic is always
+// sequentially consistent, so the only instruction-level difference is the
+// handful of owner loads and owner counter RMWs demoted to plain accesses;
+// the expected delta is small and that smallness is itself the result.
+//
+// The -check flag turns the run into a regression gate: push/pop ns/op is
+// compared against a previously written snapshot (BENCH_hotpath.json) and
+// the process exits 1 if any (deque, mode) pair slowed by more than 10%.
+
+type hotpathOpRow struct {
+	Deque     string  `json:"deque"` // abp | chaselev
+	Mode      string  `json:"mode"`  // seqcst | relaxed
+	PushPopNs float64 `json:"pushpop_ns_per_op"`
+	StealNs   float64 `json:"steal_ns_per_op"`
+}
+
+type hotpathGraphRow struct {
+	Deque       string  `json:"deque"`
+	Mode        string  `json:"mode"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	Steals      int64   `json:"steals"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
+type hotpathReport struct {
+	Experiment string `json:"experiment"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Reps       int    `json:"reps"`
+	// CalibrationNs is the ns/op of a fixed serial spin measured in the
+	// same run: the regression gate compares push/pop ns normalized by it,
+	// so a snapshot from one machine remains a usable baseline on another
+	// (and uniform container slowdowns cancel out).
+	CalibrationNs float64           `json:"calibration_ns_per_op"`
+	Ops           []hotpathOpRow    `json:"ops"`
+	Graph         []hotpathGraphRow `json:"graph"`
+}
+
+// benchCalibrate times a fixed xorshift spin: a machine-speed yardstick
+// with the same in-core, no-memory-traffic profile as the deque fast path.
+func benchCalibrate(reps int) float64 {
+	const iters = 1 << 22
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		x := uint64(2463534242)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		ns := float64(time.Since(start)) / float64(iters)
+		if x == 0 { // defeat dead-code elimination
+			panic("xorshift reached zero")
+		}
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// ownerDeque is the owner-side surface shared by both lock-free deques.
+type ownerDeque interface {
+	PushBottom(*int) bool
+	PopBottom() *int
+	PopTop() *int
+}
+
+func newHotpathDeque(kind string, relaxed bool) ownerDeque {
+	switch kind {
+	case "abp":
+		d := deque.NewWithCapacity[int](1 << 10)
+		d.SetRelaxed(relaxed)
+		return d
+	case "chaselev":
+		d := deque.NewChaseLev[int]()
+		d.SetRelaxed(relaxed)
+		return d
+	}
+	panic("unknown deque kind " + kind)
+}
+
+// benchPushPop times the owner's uncontended push/pop cycle in batches of
+// 64 so both the push store->load and the pop store(bot)->load(age) Dekker
+// handshake run against a non-empty deque. Best of reps wins.
+//
+//abp:owner the benchmark goroutine is the deque's only accessor
+func benchPushPop(kind string, relaxed bool, reps int) float64 {
+	const batch = 64
+	const iters = 1 << 14 // 64 * 16384 = ~1M pushes and ~1M pops per rep
+	node := new(int)
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		d := newHotpathDeque(kind, relaxed)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			for j := 0; j < batch; j++ {
+				if !d.PushBottom(node) {
+					panic("hotpath: push refused below capacity")
+				}
+			}
+			for j := 0; j < batch; j++ {
+				if d.PopBottom() == nil {
+					panic("hotpath: owner pop lost a node")
+				}
+			}
+		}
+		ns := float64(time.Since(start)) / float64(2*batch*iters)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// benchSteal times the thief's PopTop CAS against a pre-filled deque. The
+// steal path is deliberately untouched by RelaxedAtomics (the top/age CAS
+// is the arbitration the paper's Figure 5 depends on), so this column
+// doubles as a control: seqcst and relaxed should coincide.
+//
+//abp:owner the benchmark goroutine fills the deque it then steals from
+func benchSteal(kind string, relaxed bool, reps int) float64 {
+	const n = 1 << 10
+	node := new(int)
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		var total time.Duration
+		const rounds = 1 << 10
+		for i := 0; i < rounds; i++ {
+			// Fresh deque per round: the ABP array is not circular, so a
+			// fully stolen deque cannot be refilled from the bottom. The
+			// allocation and the refill stay outside the timed section.
+			d := newHotpathDeque(kind, relaxed)
+			for j := 0; j < n; j++ {
+				if !d.PushBottom(node) {
+					panic("hotpath: push refused below capacity")
+				}
+			}
+			start := time.Now()
+			for j := 0; j < n; j++ {
+				if d.PopTop() == nil {
+					panic("hotpath: steal lost a node")
+				}
+			}
+			total += time.Since(start)
+		}
+		ns := float64(total) / float64(n*rounds)
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// hotpathGraph runs the end-to-end spawn tree under one (deque, mode)
+// configuration and reports best-of-reps wall time.
+func hotpathGraph(kindName string, kind sched.DequeKind, relaxed bool, nodeWork, reps int) hotpathGraphRow {
+	g := workload.FibDag(18)
+	res := bestGraphRun(sched.GraphConfig{
+		Graph:          g,
+		Workers:        runtime.GOMAXPROCS(0),
+		NodeWork:       nodeWork,
+		Deque:          kind,
+		RelaxedAtomics: relaxed,
+	}, reps)
+	mode := "seqcst"
+	if relaxed {
+		mode = "relaxed"
+	}
+	return hotpathGraphRow{
+		Deque:       kindName,
+		Mode:        mode,
+		ElapsedNs:   int64(res.Elapsed),
+		Steals:      res.Steals,
+		TasksPerSec: float64(g.Work()) / res.Elapsed.Seconds(),
+	}
+}
+
+// hotpathExperiment measures every (deque, mode) pair, renders the tables,
+// writes the JSON snapshot, and — when checkPath names a previous snapshot
+// — enforces the 10% push/pop regression gate against it.
+func hotpathExperiment(nodeWork, reps int, outPath, checkPath string) {
+	// In gate mode (-check without an explicit -out) the committed snapshot
+	// is the baseline being compared against, so it must not be rewritten
+	// by the same run that judges it.
+	writeOut := true
+	if outPath == "" {
+		if checkPath != "" {
+			writeOut = false
+		}
+		outPath = "BENCH_hotpath.json"
+	}
+	rep := hotpathReport{
+		Experiment:    "hotpath",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Reps:          reps,
+		CalibrationNs: benchCalibrate(reps),
+	}
+
+	otb := table.New(fmt.Sprintf("deque hot path (single-threaded, best of %d reps)", reps),
+		"deque", "mode", "push+pop ns/op", "steal ns/op")
+	for _, kind := range []string{"abp", "chaselev"} {
+		for _, relaxed := range []bool{false, true} {
+			mode := "seqcst"
+			if relaxed {
+				mode = "relaxed"
+			}
+			row := hotpathOpRow{
+				Deque:     kind,
+				Mode:      mode,
+				PushPopNs: benchPushPop(kind, relaxed, reps),
+				StealNs:   benchSteal(kind, relaxed, reps),
+			}
+			rep.Ops = append(rep.Ops, row)
+			otb.Row(kind, mode, fmt.Sprintf("%.2f", row.PushPopNs), fmt.Sprintf("%.2f", row.StealNs))
+		}
+	}
+	otb.Render(os.Stdout)
+
+	gtb := table.New(fmt.Sprintf("end to end: fib(18) spawn tree (workers=%d, nodework=%d)",
+		runtime.GOMAXPROCS(0), nodeWork),
+		"deque", "mode", "time", "steals", "tasks/s")
+	for _, k := range []struct {
+		name string
+		kind sched.DequeKind
+	}{{"abp", sched.DequeABP}, {"chaselev", sched.DequeChaseLev}} {
+		for _, relaxed := range []bool{false, true} {
+			row := hotpathGraph(k.name, k.kind, relaxed, nodeWork, reps)
+			rep.Graph = append(rep.Graph, row)
+			gtb.Row(row.Deque, row.Mode, time.Duration(row.ElapsedNs).Round(time.Microsecond),
+				row.Steals, fmt.Sprintf("%.0f", row.TasksPerSec))
+		}
+	}
+	gtb.Render(os.Stdout)
+	fmt.Println("Go's sync/atomic is sequentially consistent, so RelaxedAtomics only demotes")
+	fmt.Println("the statically proven owner-side loads and counter RMWs to plain accesses;")
+	fmt.Println("steal ns/op is a control column (the top/age CAS is never relaxed).")
+
+	if writeOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abpbench: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "abpbench: write %s: %v\n", outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+
+	if checkPath != "" && !hotpathCheck(rep, checkPath) {
+		os.Exit(1)
+	}
+}
+
+// hotpathCheck compares the fresh push/pop measurements against a committed
+// snapshot and reports pairs that slowed by more than the 10% budget. Both
+// sides are normalized by their own run's calibration spin, so the
+// comparison survives a change of machine; a snapshot without calibration
+// falls back to raw ns. Missing baseline pairs are skipped (new
+// configurations are not regressions).
+func hotpathCheck(cur hotpathReport, checkPath string) bool {
+	data, err := os.ReadFile(checkPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abpbench: read baseline %s: %v\n", checkPath, err)
+		os.Exit(2)
+	}
+	var base hotpathReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "abpbench: parse baseline %s: %v\n", checkPath, err)
+		os.Exit(2)
+	}
+	curCal, baseCal := cur.CalibrationNs, base.CalibrationNs
+	if curCal <= 0 || baseCal <= 0 {
+		curCal, baseCal = 1, 1
+	}
+	baseline := map[string]float64{}
+	for _, row := range base.Ops {
+		baseline[row.Deque+"/"+row.Mode] = row.PushPopNs / baseCal
+	}
+	const budget = 1.10
+	ok := true
+	for _, row := range cur.Ops {
+		want, found := baseline[row.Deque+"/"+row.Mode]
+		if !found || want <= 0 {
+			continue
+		}
+		ratio := (row.PushPopNs / curCal) / want
+		verdict := "ok"
+		if ratio > budget {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("check %s/%s: push+pop %.2f/spin vs baseline %.2f (%.2fx, budget %.2fx): %s\n",
+			row.Deque, row.Mode, row.PushPopNs/curCal, want, ratio, budget, verdict)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "abpbench: hot-path push/pop regressed beyond 10%% of %s\n", checkPath)
+	}
+	return ok
+}

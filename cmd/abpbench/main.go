@@ -14,6 +14,8 @@
 //	abpbench -experiment chaos
 //	abpbench -experiment chaos -faults 'deque.popTop.beforeCAS=delay:p=0.01:d=200us'
 //	abpbench -experiment submit -out BENCH_submit.json
+//	abpbench -experiment hotpath
+//	abpbench -experiment hotpath -check BENCH_hotpath.json
 package main
 
 import (
@@ -32,12 +34,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos|submit")
+		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos|submit|hotpath")
 		nodeWork = flag.Int("nodework", 2000, "synthetic work per dag node (spin iterations)")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (best time kept)")
 		stats    = flag.Bool("stats", false, "print the scheduler counter table (parks, wakes, backoff, ...) after pool experiments")
 		faults   = flag.String("faults", "", "fault spec to arm for -experiment chaos (default: the ABP_FAULTS environment variable)")
-		out      = flag.String("out", "BENCH_submit.json", "JSON snapshot path for -experiment submit")
+		out      = flag.String("out", "", "JSON snapshot path (default BENCH_<experiment>.json) for -experiment submit|hotpath")
+		check    = flag.String("check", "", "baseline BENCH_hotpath.json to gate -experiment hotpath against (exit 1 if push/pop ns/op regresses >10%)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,8 @@ func main() {
 		chaos(*reps, *faults, *stats)
 	case "submit":
 		submitExperiment(*nodeWork, *reps, *out, *stats)
+	case "hotpath":
+		hotpathExperiment(*nodeWork, *reps, *out, *check)
 	default:
 		fmt.Fprintf(os.Stderr, "abpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -220,6 +220,9 @@ func submitOpen(workers, offeredPS, taskSpins, spawnsPerSub, injectorCap int) su
 // submitExperiment runs both sweeps, renders the tables, and writes the
 // JSON snapshot.
 func submitExperiment(taskSpins, reps int, outPath string, showStats bool) {
+	if outPath == "" {
+		outPath = "BENCH_submit.json"
+	}
 	workers := runtime.GOMAXPROCS(0)
 	const spawnsPerSub = 4
 	rep := submitReport{

@@ -5,12 +5,16 @@
 // Usage:
 //
 //	go run ./cmd/abprace [-json] [-sarif file] [-baseline file]
-//	                     [-write-baseline file] [-C dir] [packages]
+//	                     [-write-baseline file] [-unused-ignores]
+//	                     [-C dir] [packages]
 //
 // Packages default to ./... . Exit status: 0 when clean, 1 when findings
 // were reported, 2 on operational failure. Findings can be suppressed case
-// by case with a justified //abp:race-ignore comment; stale-directive
-// detection (-unused-ignores) needs the full suite and lives in abpvet.
+// by case with a justified //abp:race-ignore comment; -unused-ignores
+// reports //abp:race-ignore directives that no longer suppress anything
+// (directives addressed to other analyzers are left to abpvet, which runs
+// them); -baseline drops findings recorded in a previous -json report and
+// -write-baseline records the current findings as that report.
 package main
 
 import (

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -127,12 +129,68 @@ func TestSeededRaceSARIF(t *testing.T) {
 	}
 }
 
-func TestUnusedIgnoresNeedsFullSuite(t *testing.T) {
-	code, _, stderr := runCLI(t, "-unused-ignores", ".")
+func TestUnusedIgnoresScopedToRaceDirectives(t *testing.T) {
+	// The fixture holds two stale directives: a //abp:race-ignore, which
+	// abprace judges (its analyzer ran), and an //abp:ignore mustcheck,
+	// which it must not (mustcheck did not run, so staleness is
+	// undecidable here — that judgment belongs to abpvet).
+	code, stdout, stderr := runCLI(t, "-unused-ignores", "-C", "testdata/unusedignore", ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "//abp:race-ignore") || !strings.Contains(stdout, "suppresses nothing") {
+		t.Errorf("stale race directive not reported: %q", stdout)
+	}
+	if strings.Contains(stdout, "mustcheck") {
+		t.Errorf("abprace judged a directive outside its analyzer set: %q", stdout)
+	}
+}
+
+func TestUnusedIgnoresStillRejectsOnly(t *testing.T) {
+	code, _, stderr := runCLI(t, "-only", "abprace", "-unused-ignores", ".")
 	if code != 2 {
 		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
 	}
-	if !strings.Contains(stderr, "full abpvet suite") {
-		t.Errorf("stderr %q does not point at abpvet", stderr)
+	if !strings.Contains(stderr, "cannot be combined with -only") {
+		t.Errorf("stderr %q does not explain the flag conflict", stderr)
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	// Recording the seeded race exits 0: refreshing a baseline is an
+	// accept-the-world operation, not a failed check.
+	code, stdout, stderr := runCLI(t, "-write-baseline", path, "-C", raceDir, ".")
+	if code != 0 {
+		t.Fatalf("write-baseline run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("write-baseline run printed findings: %q", stdout)
+	}
+	if !strings.Contains(stderr, "wrote baseline with 1 finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr)
+	}
+
+	// The file is the -json Report format carrying the abprace finding.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("baseline file does not parse as a Report: %v\n%s", err, data)
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Analyzer != "abprace" {
+		t.Fatalf("unexpected baseline contents: %+v", rep.Findings)
+	}
+
+	// Round trip: feeding the written baseline back suppresses the race.
+	code, stdout, stderr = runCLI(t, "-baseline", path, "-C", raceDir, ".")
+	if code != 0 {
+		t.Fatalf("baselined run: exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run still printed findings: %q", stdout)
 	}
 }

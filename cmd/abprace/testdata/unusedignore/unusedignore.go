@@ -1,0 +1,14 @@
+// Package unusedignore is a CLI test fixture for abprace's scoped
+// -unused-ignores: the //abp:race-ignore below suppresses nothing, so
+// abprace must flag it as stale — while the equally stale //abp:ignore
+// mustcheck directive is addressed to an analyzer abprace does not run,
+// so judging it is abpvet's job and abprace must stay silent about it.
+package unusedignore
+
+//abp:race-ignore nothing here ever raced
+var x = 1
+
+//abp:ignore mustcheck nothing here ever produced a finding
+var y = 2
+
+var _ = x + y

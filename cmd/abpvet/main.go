@@ -37,6 +37,6 @@ func main() {
 // the exit status instead of calling os.Exit. The implementation lives in
 // lint.Tool so cmd/abprace shares it.
 func run(args []string, stdout, stderr io.Writer) int {
-	tool := &lint.Tool{Name: "abpvet", Analyzers: lint.All(), FullSuite: true}
+	tool := &lint.Tool{Name: "abpvet", Analyzers: lint.All()}
 	return tool.Main(args, stdout, stderr)
 }

@@ -1,8 +1,7 @@
 package deque
 
 import (
-	"sync/atomic"
-
+	"worksteal/internal/atomicx"
 	"worksteal/internal/fault"
 )
 
@@ -31,20 +30,31 @@ var (
 // The owner contract is the same as Deque: PushBottom and PopBottom are
 // owner-only, PopTop is for everyone.
 type ChaseLev[T any] struct {
-	top    atomic.Int64 // next index to steal; monotonically increasing
-	bottom atomic.Int64 // next index to push
-	array  atomic.Pointer[clRing[T]]
+	// top is CAS-arbitrated between thieves (and popBottom's last-item
+	// race), so it stays sequentially consistent.
+	top atomicx.SCInt64 // next index to steal; monotonically increasing
+	// bottom's store in popBottom is the first half of a Dekker
+	// store(bottom)→load(top) handshake, so its stores stay sc; the
+	// owner's reloads are downgradeable (LoadOwner below).
+	bottom atomicx.SCInt64 // next index to push
+	// array is published by the owner to thieves on grow; release/acquire
+	// suffices (no store→load shape involves it).
+	array atomicx.PublishPointer[clRing[T]]
+	// relaxed gates the proof-checked owner-side downgrades; set via
+	// SetRelaxed before the deque is shared.
+	relaxed bool
 }
 
-// clRing is a power-of-two circular buffer.
+// clRing is a power-of-two circular buffer. Slots only publish a node
+// between processes; the top/bottom protocol supplies ordering.
 type clRing[T any] struct {
 	mask int64
-	buf  []atomic.Pointer[T]
+	buf  []atomicx.PublishPointer[T]
 }
 
 func newCLRing[T any](logSize uint) *clRing[T] {
 	n := int64(1) << logSize
-	return &clRing[T]{mask: n - 1, buf: make([]atomic.Pointer[T], n)}
+	return &clRing[T]{mask: n - 1, buf: make([]atomicx.PublishPointer[T], n)}
 }
 
 func (r *clRing[T]) get(i int64) *T    { return r.buf[i&r.mask].Load() }
@@ -53,7 +63,7 @@ func (r *clRing[T]) size() int64       { return r.mask + 1 }
 
 // grow returns a ring of twice the size holding [top, bottom).
 func (r *clRing[T]) grow(top, bottom int64) *clRing[T] {
-	bigger := &clRing[T]{mask: 2*r.size() - 1, buf: make([]atomic.Pointer[T], 2*r.size())}
+	bigger := &clRing[T]{mask: 2*r.size() - 1, buf: make([]atomicx.PublishPointer[T], 2*r.size())}
 	for i := top; i < bottom; i++ {
 		bigger.put(i, r.get(i))
 	}
@@ -61,11 +71,19 @@ func (r *clRing[T]) grow(top, bottom int64) *clRing[T] {
 }
 
 // NewChaseLev returns an empty unbounded deque with a small initial buffer.
+// The constructor owns the deque until it is published to thieves, which
+// is why the initial array store counts as an owner-context write.
+//
+//abp:owner constructor: owns the deque until it escapes
 func NewChaseLev[T any]() *ChaseLev[T] {
 	d := &ChaseLev[T]{}
 	d.array.Store(newCLRing[T](6)) // 64 slots to start
 	return d
 }
+
+// SetRelaxed toggles the proof-gated owner-side atomics downgrades (plain
+// reloads of bottom and array on the owner paths). Call before sharing.
+func (d *ChaseLev[T]) SetRelaxed(relaxed bool) { d.relaxed = relaxed }
 
 var _ Dequer[int] = (*ChaseLev[int])(nil)
 
@@ -85,11 +103,15 @@ func (d *ChaseLev[T]) Len() int {
 // always succeeds (the deque is unbounded) and returns true, satisfying the
 // Dequer interface. Growing allocates, but never waits on another process.
 //
+// bottom and array are written only by the owner, so their reloads here
+// are owner-relaxed; top stays a full atomic load (thieves CAS it).
+//
+//abp:owner deque owner: the worker this deque belongs to
 //abp:nonblocking
 func (d *ChaseLev[T]) PushBottom(node *T) bool {
-	b := d.bottom.Load()
+	b := d.bottom.LoadOwner(d.relaxed)
 	t := d.top.Load()
-	a := d.array.Load()
+	a := d.array.LoadOwner(d.relaxed)
 	if b-t >= a.size() {
 		a = a.grow(t, b)
 		d.array.Store(a)
@@ -102,10 +124,15 @@ func (d *ChaseLev[T]) PushBottom(node *T) bool {
 
 // PopBottom removes and returns the bottommost item, or nil when empty.
 //
+// The initial bottom reload and the array read are owner-relaxed; the
+// bottom STORE below stays sc — it is the Dekker store(bottom)→load(top)
+// half that races popTop's CAS for the last item.
+//
+//abp:owner deque owner: the worker this deque belongs to
 //abp:nonblocking
 func (d *ChaseLev[T]) PopBottom() *T {
-	b := d.bottom.Load() - 1
-	a := d.array.Load()
+	b := d.bottom.LoadOwner(d.relaxed) - 1
+	a := d.array.LoadOwner(d.relaxed)
 	d.bottom.Store(b)
 	t := d.top.Load()
 	if t > b {

@@ -25,8 +25,8 @@ package deque
 
 import (
 	"fmt"
-	"sync/atomic"
 
+	"worksteal/internal/atomicx"
 	"worksteal/internal/fault"
 )
 
@@ -58,14 +58,27 @@ func unpackAge(a uint64) (tag, top uint32) { return uint32(a >> 32), uint32(a) }
 // be called only by the single owner; PopTop may be called concurrently by
 // any number of thieves.
 type Deque[T any] struct {
-	age atomic.Uint64 // (tag, top)
+	// age needs full sequential consistency: thieves arbitrate the topmost
+	// item with a CAS, and popBottom's store→load Dekker handshake on
+	// (bot, age) is the paper's §3.2 correctness argument.
+	age atomicx.SCUint64 // (tag, top)
 	// Padding separates the thieves' CAS target (age) from the owner's
 	// high-frequency store target (bot), avoiding false sharing between
 	// the one cache line every thief hammers and the one the owner owns.
-	_   [56]byte
-	bot atomic.Uint32 // index below the bottom item
+	_ [56]byte
+	// bot is written only by the owner but participates in the same Dekker
+	// handshake (store bot, then load age), so its stores stay sc; the
+	// owner's own reloads of it are downgradeable (LoadOwner below).
+	bot atomicx.SCUint32 // index below the bottom item
 	_   [60]byte
-	deq []atomic.Pointer[T]
+	// deq slots only ever publish a node from one process to another; the
+	// surrounding age/bot protocol supplies all cross-slot ordering.
+	deq []atomicx.PublishPointer[T]
+	// relaxed gates the proof-checked owner-side downgrades (the abporder
+	// owner-op proof: every write of bot sits in an //abp:owner function).
+	// Set via SetRelaxed before the deque is shared; plumbed from
+	// sched.Config.RelaxedAtomics.
+	relaxed bool
 }
 
 // New returns an empty deque with DefaultCapacity slots.
@@ -79,8 +92,14 @@ func NewWithCapacity[T any](capacity int) *Deque[T] {
 	if capacity >= 1<<31 {
 		panic(fmt.Sprintf("deque: capacity %d does not fit in 31 bits", capacity))
 	}
-	return &Deque[T]{deq: make([]atomic.Pointer[T], capacity)}
+	return &Deque[T]{deq: make([]atomicx.PublishPointer[T], capacity)}
 }
+
+// SetRelaxed toggles the proof-gated owner-side atomics downgrades
+// (plain reloads of bot on the owner paths). It must be called before the
+// deque is shared — typically right after construction — because the flag
+// itself is read without synchronization on every hot-path operation.
+func (d *Deque[T]) SetRelaxed(relaxed bool) { d.relaxed = relaxed }
 
 // Cap returns the deque's capacity.
 func (d *Deque[T]) Cap() int { return len(d.deq) }
@@ -119,9 +138,14 @@ func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
 // preserves depth-first semantics in the scheduler. Only the owner may call
 // PushBottom.
 //
+// The bot reload is owner-relaxed: bot is written by no one else, so the
+// owner re-reads its own last store (the paper's owner/thief asymmetry —
+// Figure 5's pushBottom issues no synchronizing instruction at all).
+//
+//abp:owner deque owner: the worker this deque belongs to
 //abp:nonblocking
 func (d *Deque[T]) PushBottom(node *T) bool {
-	localBot := d.bot.Load() // load localBot <- bot
+	localBot := d.bot.LoadOwner(d.relaxed) // load localBot <- bot
 	if localBot >= uint32(len(d.deq)) {
 		return false
 	}
@@ -157,9 +181,15 @@ func (d *Deque[T]) PopTop() *T {
 // PopBottom pops the bottommost item (Figure 5, popBottom). It returns nil
 // when the deque is empty. Only the owner may call PopBottom.
 //
+// The initial bot reload is owner-relaxed (see PushBottom); the bot STORE
+// below must remain sequentially consistent — it is the first half of the
+// store(bot)→load(age) Dekker handshake against popTop's
+// store(age)→load(bot), the ordering §3.2's last-item race depends on.
+//
+//abp:owner deque owner: the worker this deque belongs to
 //abp:nonblocking
 func (d *Deque[T]) PopBottom() *T {
-	localBot := d.bot.Load() // load localBot <- bot
+	localBot := d.bot.LoadOwner(d.relaxed) // load localBot <- bot
 	if localBot == 0 {
 		return nil
 	}
@@ -193,6 +223,7 @@ func (d *Deque[T]) PopBottom() *T {
 // access the deque (for example between runs in a pool). The tag is
 // preserved and bumped so that any stale reference still fails its CAS.
 //
+//abp:owner deque owner: reset runs with no concurrent accessors
 //abp:nonblocking
 func (d *Deque[T]) Reset() {
 	tag, _ := unpackAge(d.age.Load())

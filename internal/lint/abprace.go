@@ -10,7 +10,7 @@ import (
 )
 
 // abprace is a whole-package static happens-before race detector. It is
-// the layer none of the other eight analyzers occupy: they each check one
+// the layer the single-contract analyzers do not occupy: they each check one
 // function-local contract, while abprace reasons about WHICH goroutine
 // reaches an access and WHAT orders it against conflicting accesses
 // elsewhere. The pipeline:
@@ -61,6 +61,13 @@ type raceAccess struct {
 	// recvDirect marks a one-hop selection on the enclosing method's
 	// receiver (w.bot, not w.pool.done).
 	recvDirect bool
+	// op is the operation name at the access site ("Load", "Store",
+	// "Add", "CompareAndSwap", "LoadOwner", ...) when the access goes
+	// through sync/atomic or atomicx; "" for plain accesses.
+	op string
+	// ownerOp marks a relaxable atomicx owner accessor call site
+	// (LoadOwner/AddOwner), which abporder holds to the owner proof.
+	ownerOp bool
 	// onceVar identifies the sync.Once whose Do runs the enclosing
 	// literal, if any: Do bodies are mutually excluded and one-shot.
 	onceVar *types.Var
@@ -133,7 +140,10 @@ type raceAnalysis struct {
 	inhInProgress map[*funcNode]bool
 }
 
-func runAbpRace(pass *Pass) error {
+// newRaceAnalysis builds the whole-package analysis state — call graph,
+// goroutine contexts, owner set, caller index, escape set — that abprace
+// and abporder both run their collection and happens-before machinery on.
+func newRaceAnalysis(pass *Pass) *raceAnalysis {
 	g := newCallGraph(pass.TypesInfo, pass.Files)
 	a := &raceAnalysis{
 		pass:          pass,
@@ -152,9 +162,6 @@ func runAbpRace(pass *Pass) error {
 		inhInProgress: map[*funcNode]bool{},
 	}
 	a.gs = inferGoroutines(g, a.cfg)
-	if len(a.gs.roots) < 2 {
-		return nil // no go statements: one context, nothing is concurrent
-	}
 	a.owned = g.ownedNodes()
 	for _, from := range g.nodes {
 		for _, e := range g.edges[from] {
@@ -162,7 +169,15 @@ func runAbpRace(pass *Pass) error {
 		}
 	}
 	a.collectEscapes()
-	for _, n := range a.gs.sharedNodes(g) {
+	return a
+}
+
+func runAbpRace(pass *Pass) error {
+	a := newRaceAnalysis(pass)
+	if len(a.gs.roots) < 2 {
+		return nil // no go statements: one context, nothing is concurrent
+	}
+	for _, n := range a.gs.sharedNodes(a.graph) {
 		a.collect(n)
 	}
 	a.report()
@@ -238,6 +253,19 @@ func (a *raceAnalysis) collectEscapes() {
 
 // --- access and fact collection ---
 
+// accessMarks carries collect's Pass-A classification of expressions to
+// Pass B: which expressions sit in write position, which are operands of
+// atomic (or atomicx) operations and under what operation name, which are
+// relaxable owner-accessor receivers, and which are sync primitives.
+type accessMarks struct {
+	writes       map[ast.Expr]bool   // exprs in write position
+	atomicTarget map[ast.Expr]bool   // exprs accessed through sync/atomic or atomicx
+	atomicWrite  map[ast.Expr]bool   // ... and the op stores
+	atomicOp     map[ast.Expr]string // ... and the op's name
+	ownerOp      map[ast.Expr]bool   // receivers of atomicx LoadOwner/AddOwner
+	syncRecv     map[ast.Expr]bool   // receivers of sync.* method calls
+}
+
 func (a *raceAnalysis) collect(fn *funcNode) {
 	body := fn.body()
 	if body == nil {
@@ -247,17 +275,21 @@ func (a *raceAnalysis) collect(fn *funcNode) {
 	cfg := a.cfg(fn)
 	facts := a.factsOf(fn)
 
-	writes := map[ast.Expr]bool{}       // exprs in write position
-	atomicTarget := map[ast.Expr]bool{} // exprs accessed through sync/atomic
-	atomicWrite := map[ast.Expr]bool{}  // ... and the op stores
-	syncRecv := map[ast.Expr]bool{}     // receivers of sync.* method calls
+	m := &accessMarks{
+		writes:       map[ast.Expr]bool{},
+		atomicTarget: map[ast.Expr]bool{},
+		atomicWrite:  map[ast.Expr]bool{},
+		atomicOp:     map[ast.Expr]string{},
+		ownerOp:      map[ast.Expr]bool{},
+		syncRecv:     map[ast.Expr]bool{},
+	}
 	addrTaken := map[*ast.UnaryExpr]ast.Expr{}
 	consumed := map[*ast.UnaryExpr]bool{} // &x operands consumed by atomic calls
 
 	var markWrite func(e ast.Expr)
 	markWrite = func(e ast.Expr) {
 		e = ast.Unparen(e)
-		writes[e] = true
+		m.writes[e] = true
 		// Writing an element or through a pointer is modeled as a write
 		// of the container field: field-granular, object-insensitive.
 		switch x := e.(type) {
@@ -306,7 +338,7 @@ func (a *raceAnalysis) collect(fn *funcNode) {
 				}
 			}
 		case *ast.CallExpr:
-			a.classifyCall(fn, x, facts, atomicTarget, atomicWrite, syncRecv, consumed, node, isDeferred)
+			a.classifyCall(fn, x, facts, m, consumed, node, isDeferred)
 		}
 		return true
 	})
@@ -325,10 +357,10 @@ func (a *raceAnalysis) collect(fn *funcNode) {
 		switch x := x.(type) {
 		case *ast.SelectorExpr:
 			selSel[x.Sel] = true
-			a.fieldAccess(fn, cfg, x, writes, atomicTarget, atomicWrite, syncRecv)
+			a.fieldAccess(fn, cfg, x, m)
 		case *ast.Ident:
 			if !selSel[x] {
-				a.globalAccess(fn, cfg, x, writes, atomicTarget, atomicWrite, syncRecv)
+				a.globalAccess(fn, cfg, x, m)
 			}
 		}
 		return true
@@ -338,8 +370,7 @@ func (a *raceAnalysis) collect(fn *funcNode) {
 // classifyCall sorts one call into the atomic / sync-primitive / channel
 // fact buckets.
 func (a *raceAnalysis) classifyCall(fn *funcNode, call *ast.CallExpr, facts *funcFacts,
-	atomicTarget, atomicWrite map[ast.Expr]bool, syncRecv map[ast.Expr]bool,
-	consumed map[*ast.UnaryExpr]bool, node func(ast.Node) ast.Node, isDeferred func(ast.Node) bool) {
+	m *accessMarks, consumed map[*ast.UnaryExpr]bool, node func(ast.Node) ast.Node, isDeferred func(ast.Node) bool) {
 
 	info := a.pass.TypesInfo
 	callee := calleeFunc(info, call)
@@ -349,10 +380,11 @@ func (a *raceAnalysis) classifyCall(fn *funcNode, call *ast.CallExpr, facts *fun
 		// atomic access of the field (atomicmix's operand rule).
 		if len(call.Args) > 0 {
 			if ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && ue.Op == token.AND {
-				t := ast.Unparen(ue.X)
+				t := elemBase(ast.Unparen(ue.X))
 				w := !strings.HasPrefix(callee.Name(), "Load")
-				atomicTarget[t] = true
-				atomicWrite[t] = w
+				m.atomicTarget[t] = true
+				m.atomicWrite[t] = w
+				m.atomicOp[t] = callee.Name()
 				consumed[ue] = true
 				if v := leafVar(info, t); v != nil {
 					op := syncOp{v: v, node: node(call)}
@@ -367,10 +399,11 @@ func (a *raceAnalysis) classifyCall(fn *funcNode, call *ast.CallExpr, facts *fun
 	case isAtomicMethod(callee):
 		// w.parked.Store(true): the receiver chain is the atomic access.
 		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			t := ast.Unparen(sel.X)
+			t := elemBase(ast.Unparen(sel.X))
 			w := callee.Name() != "Load"
-			atomicTarget[t] = true
-			atomicWrite[t] = w
+			m.atomicTarget[t] = true
+			m.atomicWrite[t] = w
+			m.atomicOp[t] = callee.Name()
 			if v := leafVar(info, t); v != nil {
 				op := syncOp{v: v, node: node(call)}
 				if w {
@@ -380,13 +413,43 @@ func (a *raceAnalysis) classifyCall(fn *funcNode, call *ast.CallExpr, facts *fun
 				}
 			}
 		}
+	case isAtomicxOwnerMethod(callee):
+		// d.bot.LoadOwner(relaxed): a relaxable owner accessor. AddOwner
+		// writes (plain read of own last store + atomic store), LoadOwner
+		// reads. Both are atomic accesses for pair purposes — abporder
+		// separately demands the single-writer owner proof at every such
+		// site, which is what makes the relaxed plain read sound. Only
+		// AddOwner's (genuinely atomic) store yields a release fact; a
+		// relaxed LoadOwner provides no acquire semantics, so no fact.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			t := elemBase(ast.Unparen(sel.X))
+			w := callee.Name() == "AddOwner"
+			m.atomicTarget[t] = true
+			m.atomicWrite[t] = w
+			m.atomicOp[t] = callee.Name()
+			m.ownerOp[t] = true
+			if v := leafVar(info, t); v != nil && w {
+				facts.atomicW = append(facts.atomicW, syncOp{v: v, node: node(call)})
+			}
+		}
+	case isAtomicxPlainMethod(callee):
+		// h.handoff.Set(t): a declared-plain access — the receiver chain
+		// is a plain write (Set) or plain read (Get), checked by the pair
+		// machinery exactly as a raw field access would be.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			t := elemBase(ast.Unparen(sel.X))
+			if callee.Name() == "Set" {
+				m.writes[t] = true
+			}
+			m.atomicOp[t] = callee.Name()
+		}
 	case syncMethodRecv(callee) != "":
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
 			return
 		}
 		recv := ast.Unparen(sel.X)
-		syncRecv[recv] = true
+		m.syncRecv[recv] = true
 		v := leafVar(info, recv)
 		if v == nil {
 			return
@@ -425,9 +488,19 @@ func (a *raceAnalysis) classifyCall(fn *funcNode, call *ast.CallExpr, facts *fun
 	}
 }
 
-func (a *raceAnalysis) fieldAccess(fn *funcNode, cfg *funcCFG, sel *ast.SelectorExpr,
-	writes, atomicTarget, atomicWrite map[ast.Expr]bool, syncRecv map[ast.Expr]bool) {
+// elemBase unwraps an index expression: an element access like
+// d.deq[i].Store(x) is, at this analysis' field-level granularity, an
+// atomic access of the slice/array field itself (the marks must land on
+// the base selector fieldAccess will visit, or the element op degrades
+// to a plain read of the field).
+func elemBase(t ast.Expr) ast.Expr {
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		return ast.Unparen(ix.X)
+	}
+	return t
+}
 
+func (a *raceAnalysis) fieldAccess(fn *funcNode, cfg *funcCFG, sel *ast.SelectorExpr, m *accessMarks) {
 	info := a.pass.TypesInfo
 	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.FieldVal {
@@ -437,11 +510,11 @@ func (a *raceAnalysis) fieldAccess(fn *funcNode, cfg *funcCFG, sel *ast.Selector
 	if !ok {
 		return
 	}
-	if syncRecv[sel] {
+	if m.syncRecv[sel] {
 		return // the sync primitive itself; its ops became facts
 	}
-	isAtomic := atomicTarget[sel]
-	write := writes[sel] || (isAtomic && atomicWrite[sel])
+	isAtomic := m.atomicTarget[sel]
+	write := m.writes[sel] || (isAtomic && m.atomicWrite[sel])
 	if !isAtomic && !write && isSyncPkgType(v.Type()) {
 		return // e.g. passing &wg around; not a data access
 	}
@@ -473,14 +546,13 @@ func (a *raceAnalysis) fieldAccess(fn *funcNode, cfg *funcCFG, sel *ast.Selector
 	a.addAccess(&raceAccess{
 		v: v, fn: fn, node: at, pos: sel.Pos(),
 		write: write, atomic: isAtomic, recvDirect: recvDirect,
+		op: m.atomicOp[sel], ownerOp: m.ownerOp[sel],
 		onceVar: a.onceVarOf(fn),
 		desc:    fmt.Sprintf("field %s of %s", v.Name(), typeName),
 	})
 }
 
-func (a *raceAnalysis) globalAccess(fn *funcNode, cfg *funcCFG, id *ast.Ident,
-	writes, atomicTarget, atomicWrite map[ast.Expr]bool, syncRecv map[ast.Expr]bool) {
-
+func (a *raceAnalysis) globalAccess(fn *funcNode, cfg *funcCFG, id *ast.Ident, m *accessMarks) {
 	info := a.pass.TypesInfo
 	v, ok := info.Uses[id].(*types.Var)
 	if !ok || v.IsField() || v.Name() == "_" {
@@ -489,17 +561,18 @@ func (a *raceAnalysis) globalAccess(fn *funcNode, cfg *funcCFG, id *ast.Ident,
 	if a.pass.Pkg == nil || v.Parent() != a.pass.Pkg.Scope() {
 		return // locals, params, and cross-package vars are out of scope
 	}
-	if syncRecv[id] {
+	if m.syncRecv[id] {
 		return
 	}
-	isAtomic := atomicTarget[id]
-	write := writes[id] || (isAtomic && atomicWrite[id])
+	isAtomic := m.atomicTarget[id]
+	write := m.writes[id] || (isAtomic && m.atomicWrite[id])
 	if !isAtomic && !write && isSyncPkgType(v.Type()) {
 		return
 	}
 	a.addAccess(&raceAccess{
 		v: v, fn: fn, node: cfg.blockNodeAt(id.Pos()), pos: id.Pos(),
 		write: write, atomic: isAtomic,
+		op: m.atomicOp[id], ownerOp: m.ownerOp[id],
 		onceVar: a.onceVarOf(fn),
 		desc:    fmt.Sprintf("package variable %s", v.Name()),
 	})

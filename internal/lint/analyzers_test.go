@@ -14,6 +14,7 @@ func TestHandshake(t *testing.T)   { runAnalyzerTest(t, Handshake, "handshake") 
 func TestMustCheck(t *testing.T)   { runAnalyzerTest(t, MustCheck, "mustcheck") }
 func TestTagABA(t *testing.T)      { runAnalyzerTest(t, TagABA, "tagaba") }
 func TestAbpRace(t *testing.T)     { runAnalyzerTest(t, AbpRace, "abprace") }
+func TestAbpOrder(t *testing.T)    { runAnalyzerTest(t, AbpOrder, "abporder") }
 
 // TestSeededPR1Bug replays, in miniature, the discarded-PushBottom bug that
 // PR 1 fixed in sched.(*Pool).submitRoot and asserts that mustcheck now
@@ -73,6 +74,44 @@ func TestSeededRace(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("abprace reported nothing on the seeded Pool.Stats race: the PR-1 stats bug class would ship again")
+	}
+}
+
+// TestSeededOrder seeds the over-synchronization blind spot abporder was
+// built to close: a gratuitous seq-cst load on a worker hot path whose
+// only store is ordered before every fork. abprace must stay SILENT (both
+// sides are atomic, which its pair rules accept by definition) while
+// abporder must flag the declaration — the two assertions together pin
+// the division of labor between the analyzers.
+func TestSeededOrder(t *testing.T) {
+	runAnalyzerTest(t, AbpOrder, "seededorder")
+
+	pkgs, err := NewLoader().Load("testdata/src/seededorder", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderFindings := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(AbpOrder, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			orderFindings++
+			if !strings.Contains(d.Message, "plain access suffices") {
+				t.Errorf("unexpected abporder finding: %s", d.Message)
+			}
+		}
+		raceDiags, err := Run(AbpRace, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range raceDiags {
+			t.Errorf("abprace should accept the all-atomic fixture, got: %s", d.Message)
+		}
+	}
+	if orderFindings == 0 {
+		t.Fatal("abporder reported nothing on the seeded over-synchronization: the gratuitous hot-path seq-cst class would ship again")
 	}
 }
 

@@ -27,3 +27,26 @@ func BenchmarkAbpvet(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAbpvetColdLoader is the per-invocation cost without the shared
+// cache: every iteration parses and type-checks the whole dependency graph
+// from scratch, the way each Tool run did before LoaderFor.
+func BenchmarkAbpvetColdLoader(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLoader().Load("../..", "./..."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbpvetSharedLoader is the same full-tree load through the
+// process-wide LoaderFor cache — the abpvet-then-abprace (or repeated
+// in-process test) scenario: after the first iteration only the `go list`
+// subprocess remains; parse and type-check are cache hits.
+func BenchmarkAbpvetSharedLoader(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LoaderFor("../..").Load("../..", "./..."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,13 +17,11 @@ import (
 type Tool struct {
 	// Name prefixes diagnostics and names the SARIF driver.
 	Name string
-	// Analyzers is the suite this tool runs by default.
+	// Analyzers is the suite this tool runs by default. It also scopes
+	// -unused-ignores: only directives addressed to one of these analyzers
+	// can be judged stale by this tool — a directive for an analyzer that
+	// did not run might well suppress one of its findings.
 	Analyzers []*Analyzer
-	// FullSuite marks the tool that runs every analyzer. Only such a run
-	// can meaningfully report unused ignore directives: a partial run
-	// cannot tell "stale" from "suppresses a finding of an analyzer that
-	// did not run".
-	FullSuite bool
 }
 
 // Main is the whole command, factored for in-process testing: it returns
@@ -38,7 +36,7 @@ func (t *Tool) Main(args []string, stdout, stderr io.Writer) int {
 	sarifPath := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this `file` (\"-\" for stdout)")
 	baselinePath := fs.String("baseline", "", "drop findings recorded in this baseline `file` (a previous -json report)")
 	writeBaseline := fs.String("write-baseline", "", "write the current findings to this `file` as a baseline and exit 0")
-	unusedIgnores := fs.Bool("unused-ignores", false, "also report stale //abp:ignore directives (needs the full suite: incompatible with -only)")
+	unusedIgnores := fs.Bool("unused-ignores", false, "also report stale ignore directives addressed to this tool's analyzers (incompatible with -only)")
 	dir := fs.String("C", ".", "load packages as if launched from `dir`")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: %s [flags] [packages]\n\n", t.Name)
@@ -59,17 +57,13 @@ func (t *Tool) Main(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *unusedIgnores && !t.FullSuite {
-		fmt.Fprintf(stderr, "%s: -unused-ignores needs the full abpvet suite; run abpvet -unused-ignores instead\n", t.Name)
-		return 2
-	}
 	if *writeBaseline != "" && *baselinePath != "" {
 		fmt.Fprintf(stderr, "%s: -write-baseline refreshes a baseline from scratch and cannot be combined with -baseline\n", t.Name)
 		return 2
 	}
 	if *only != "" {
 		if *unusedIgnores {
-			fmt.Fprintf(stderr, "%s: -unused-ignores needs the full suite and cannot be combined with -only\n", t.Name)
+			fmt.Fprintf(stderr, "%s: -unused-ignores judges staleness against the tool's whole analyzer set and cannot be combined with -only\n", t.Name)
 			return 2
 		}
 		byName := map[string]*Analyzer{}
@@ -96,10 +90,18 @@ func (t *Tool) Main(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := NewLoader().Load(*dir, patterns...)
+	pkgs, err := LoaderFor(root).Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "%s: %v\n", t.Name, err)
 		return 2
+	}
+
+	// ran scopes -unused-ignores: a directive addressed to an analyzer
+	// outside this tool's suite is not judged (it may suppress a finding
+	// the tool never computed).
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
 	}
 
 	var findings []Finding
@@ -120,6 +122,9 @@ func (t *Tool) Main(args []string, stdout, stderr io.Writer) int {
 		}
 		if *unusedIgnores {
 			for _, d := range ignores.Unused() {
+				if !ran[d.Analyzer] {
+					continue
+				}
 				findings = append(findings, UnusedIgnoreFinding(d, root))
 			}
 		}

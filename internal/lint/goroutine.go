@@ -94,6 +94,20 @@ func (r *gRoot) concurrent(o *gRoot) bool {
 	return !r.external && r.multi
 }
 
+// concurrentAdversarial is concurrent with the external-serialization
+// assumption dropped: the external root is treated as racing itself.
+// abprace keeps the assumption because it reports races — dropping it
+// would flood every exported entry point with findings. abporder must
+// drop it when PROVING an atomic unnecessary: "no concurrent access"
+// established only by assuming callers serialize is not a license to
+// remove the synchronization those callers may in fact be relying on.
+func (r *gRoot) concurrentAdversarial(o *gRoot) bool {
+	if r != o {
+		return true
+	}
+	return r.external || r.multi
+}
+
 // A goroutineSet is the result of inference: the roots, and for each
 // function the roots that can be executing it.
 type goroutineSet struct {

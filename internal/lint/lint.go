@@ -20,14 +20,16 @@
 //	                   any function it (transitively, statically) calls.
 //	//abp:nonblocking  the function must not perform blocking operations.
 //
-// And two take findings out of scope:
+// And three take findings out of scope:
 //
 //	//abp:ignore <analyzer> <justification>
 //	//abp:race-ignore <justification>
+//	//abp:order-ignore <justification>
 //
 // placed on (or on the line directly above) the flagged line. The second
-// form is shorthand scoped to the abprace analyzer. The justification text
-// is mandatory in both: a bare ignore does not suppress.
+// and third forms are shorthands scoped to the abprace and abporder
+// analyzers respectively. The justification text is mandatory in all
+// three: a bare ignore does not suppress.
 package lint
 
 import (
@@ -74,10 +76,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All returns the abpvet analyzer suite: PR 2's four syntactic analyzers,
-// PR 3's four flow-aware ones, and PR 4's whole-package race detector, in
-// alphabetical order.
+// PR 3's four flow-aware ones, PR 4's whole-package race detector, and
+// PR 7's memory-ordering necessity analyzer, in alphabetical order.
 func All() []*Analyzer {
-	return []*Analyzer{AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
+	return []*Analyzer{AbpOrder, AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings,
@@ -155,6 +157,11 @@ func CollectIgnores(pkg *Package) *Ignores {
 						continue // no justification: directive is inert
 					}
 					analyzer, form = AbpRace.Name, "//abp:race-ignore"
+				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:order-ignore"); ok {
+					if len(strings.Fields(rest)) < 1 {
+						continue // no justification: directive is inert
+					}
+					analyzer, form = AbpOrder.Name, "//abp:order-ignore"
 				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:ignore"); ok {
 					fields := strings.Fields(rest)
 					if len(fields) < 2 {
@@ -191,8 +198,10 @@ func (ig *Ignores) suppress(file string, line int, analyzer string) bool {
 
 // Unused returns the directives that suppressed nothing across every
 // RunWith sharing this index — stale suppressions that should be deleted
-// before they hide a future regression. Only meaningful after the full
-// analyzer suite has run; a partial run under-reports use.
+// before they hide a future regression. Callers must scope the result to
+// the analyzers that actually ran (each directive names its analyzer): a
+// directive for an analyzer that did not run is unjudgeable, not stale —
+// the Tool driver applies exactly that filter for -unused-ignores.
 func (ig *Ignores) Unused() []*IgnoreDirective {
 	var out []*IgnoreDirective
 	for _, d := range ig.all {
@@ -238,15 +247,73 @@ func isAtomicFunc(fn *types.Func) bool {
 		fn.Type().(*types.Signature).Recv() == nil
 }
 
-// isAtomicMethod reports whether fn is a method of one of sync/atomic's
-// wrapper types (atomic.Int64, atomic.Pointer, ...).
+// isAtomicMethod reports whether fn is a fully atomic method of one of
+// sync/atomic's wrapper types (atomic.Int64, atomic.Pointer, ...) or of
+// the ordering-annotated atomicx wrappers (internal/atomicx; matched by
+// package name so testdata fixture copies resolve too). atomicx's
+// owner/plain accessors (LoadOwner, AddOwner, Get, Set) are deliberately
+// excluded: their read/write classification differs from the name-based
+// rule the atomic analyzers use (LoadOwner is a read despite not being
+// named "Load" exactly; Set is a plain write, not an atomic one) — see
+// isAtomicxOwnerMethod and isAtomicxPlainMethod.
 func isAtomicMethod(fn *types.Func) bool {
-	if fn == nil {
+	named := recvNamed(fn)
+	if named == nil {
 		return false
+	}
+	if named.Obj().Pkg().Path() == "sync/atomic" {
+		return true
+	}
+	if named.Obj().Pkg().Name() == "atomicx" {
+		switch fn.Name() {
+		case "Load", "Store", "Add", "Swap", "CompareAndSwap":
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicxOwnerMethod reports whether fn is one of atomicx's relaxable
+// owner accessors (LoadOwner, AddOwner): reads (and, for AddOwner, a
+// read-modify-write) that are sound only when the calling goroutine is the
+// word's sole writer. abporder demands a proof at every call site.
+func isAtomicxOwnerMethod(fn *types.Func) bool {
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg().Name() != "atomicx" {
+		return false
+	}
+	switch fn.Name() {
+	case "LoadOwner", "AddOwner":
+		return true
+	}
+	return false
+}
+
+// isAtomicxPlainMethod reports whether fn is an accessor of an atomicx
+// Plain* type (Get, Set): deliberate plain loads and stores whose safety
+// rests on real happens-before edges, which abprace and abporder check
+// exactly as they would a raw field access.
+func isAtomicxPlainMethod(fn *types.Func) bool {
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg().Name() != "atomicx" {
+		return false
+	}
+	switch fn.Name() {
+	case "Get", "Set":
+		return true
+	}
+	return false
+}
+
+// recvNamed returns the named type of fn's receiver (after stripping one
+// pointer), or nil for nil/receiverless/unnamed-receiver functions.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
 	}
 	sig := fn.Type().(*types.Signature)
 	if sig.Recv() == nil {
-		return false
+		return nil
 	}
 	t := sig.Recv().Type()
 	if p, ok := t.(*types.Pointer); ok {
@@ -254,9 +321,9 @@ func isAtomicMethod(fn *types.Func) bool {
 	}
 	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
-		return false
+		return nil
 	}
-	return named.Obj().Pkg().Path() == "sync/atomic"
+	return named
 }
 
 // declsOf returns every top-level function declaration in the package;

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one type-checked package ready for analysis.
@@ -34,6 +35,7 @@ type Package struct {
 // dependencies are checked with IgnoreFuncBodies (only their exported API
 // matters); packages under analysis are checked in full.
 type Loader struct {
+	mu   sync.Mutex
 	fset *token.FileSet
 	pkgs map[string]*Package
 }
@@ -42,6 +44,35 @@ type Loader struct {
 // loader may serve several Load calls cheaply.
 func NewLoader() *Loader {
 	return &Loader{fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+}
+
+// Process-wide loader registry for LoaderFor, keyed by absolute directory.
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*Loader{}
+)
+
+// LoaderFor returns a process-wide shared loader for dir, creating it on
+// first use. Every Tool invocation rooted at the same directory — abpvet
+// and abprace back to back, or repeated in-process test runs — then shares
+// one parse-and-type-check cache instead of re-checking the dependency
+// graph per invocation (BenchmarkAbpvetSharedLoader measures the saving).
+// The cache trusts the tree not to change underneath it within a process
+// lifetime, which holds for CLI runs (one invocation) and test binaries
+// (fixtures are static).
+func LoaderFor(dir string) *Loader {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return NewLoader() // degrade to uncached rather than fail
+	}
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	l, ok := loaders[abs]
+	if !ok {
+		l = NewLoader()
+		loaders[abs] = l
+	}
+	return l
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -58,6 +89,10 @@ type listedPkg struct {
 // the matched packages and every dependency, and returns the matched
 // packages sorted by import path.
 func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	// Shared loaders (LoaderFor) may be hit from concurrent tests; the
+	// whole Load is one critical section because check mutates the cache.
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Error", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

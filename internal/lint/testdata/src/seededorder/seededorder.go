@@ -1,0 +1,44 @@
+// Package seededorder seeds the over-synchronization blind spot abporder
+// exists to close and abprace, by construction, cannot see: a limit that
+// a single coordinator goroutine stores once BEFORE forking the workers
+// that read it. Every conflicting pair is ordered by the fork edge, so
+// the seq-cst atomic on the hot worker path buys nothing — but to abprace
+// both sides are atomic accesses, which its pair rules skip as safe by
+// definition. abporder proves the fork/join ordering adversarially and
+// flags the declaration; abprace stays silent (asserted by
+// TestSeededOrder, which runs both analyzers over this package).
+package seededorder
+
+import "sync/atomic"
+
+// A server runs a fixed fleet of workers against a request budget.
+type server struct {
+	limit atomic.Int64 // want `plain access suffices`
+	hits  atomic.Int64
+}
+
+// Start forks the coordinator, which configures the server and launches
+// the worker fleet.
+func Start() *server {
+	s := &server{}
+	go s.coordinator()
+	return s
+}
+
+// coordinator stores the budget once, then forks the workers: the store
+// is ordered before every worker's loads by the go-statement edge.
+func (s *server) coordinator() {
+	s.limit.Store(8)
+	for i := 0; i < 4; i++ {
+		go s.work()
+	}
+}
+
+// work burns budget on the hot path, reloading limit through a seq-cst
+// atomic although the fork edge already ordered the only store. hits, by
+// contrast, is a genuinely concurrent arbitration (the Add result is
+// consumed), so it earns no finding.
+func (s *server) work() {
+	for s.hits.Add(1) <= s.limit.Load() {
+	}
+}

@@ -219,7 +219,7 @@ func TestPoolReuseAfterAbortDropsStaleHandoff(t *testing.T) {
 	if ip, ok := recovered.(fault.InjectedPanic); !ok || ip.Point != fpLoopEnter {
 		t.Fatalf("recovered %v, want InjectedPanic at %s", recovered, fpLoopEnter)
 	}
-	if p.workers[0].handoff == nil {
+	if p.workers[0].handoff.Get() == nil {
 		t.Fatal("test premise broken: the aborted run did not strand a root in the handoff slot")
 	}
 	dropped0 := p.Stats().TasksDropped

@@ -2,7 +2,8 @@ package sched
 
 import (
 	"runtime"
-	"sync/atomic"
+
+	"worksteal/internal/atomicx"
 )
 
 // poolAbortedError is the panic value Join raises when the submission was
@@ -18,8 +19,10 @@ func (e poolAbortedError) Error() string { return "sched: pool run aborted" }
 // waits (the "work-first" help protocol), so waiting never wastes a worker.
 type Future[T any] struct {
 	result T
-	done   atomic.Bool
-	ch     chan struct{}
+	// done is a one-way completion publication (the forked task stores, the
+	// joiner loads); release/acquire covers the result handoff.
+	done atomicx.PublishBool
+	ch   chan struct{}
 }
 
 // Fork spawns fn and returns a Future for its result. The spawned task goes

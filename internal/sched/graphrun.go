@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"worksteal/internal/atomicx"
 	"worksteal/internal/dag"
 	"worksteal/internal/deque"
 )
@@ -38,6 +38,9 @@ type GraphConfig struct {
 	Seed int64
 	// Pin locks each worker to an OS thread.
 	Pin bool
+	// RelaxedAtomics enables the proof-gated owner-side deque downgrades
+	// (see Config.RelaxedAtomics); the E15 ablation toggles it.
+	RelaxedAtomics bool
 }
 
 // GraphResult reports a native dag execution.
@@ -51,19 +54,23 @@ type GraphResult struct {
 	NodesPerWorker []int64
 }
 
-// graphRun holds the shared state of one native dag execution.
+// graphRun holds the shared state of one native dag execution. The join
+// counters (remaining) are sc — the decrement result is consumed, and
+// exactly one decrementer enables each node — while the statistics and the
+// done flag are blind publications read after the join (or, for done, a
+// gate whose ordering the enabling decrements already provide).
 type graphRun struct {
 	cfg       GraphConfig
 	g         *dag.Graph
-	remaining []atomic.Int32
-	executed  atomic.Int64
-	done      atomic.Bool
+	remaining []atomicx.SCInt32
+	executed  atomicx.Publish64
+	done      atomicx.PublishBool
 	ids       []dag.NodeID // stable backing storage for deque pointers
 	deques    []deque.Dequer[dag.NodeID]
-	perWorker []atomic.Int64
-	steals    atomic.Int64
-	attempts  atomic.Int64
-	yields    atomic.Int64
+	perWorker []atomicx.Publish64
+	steals    atomicx.Publish64
+	attempts  atomicx.Publish64
+	yields    atomicx.Publish64
 }
 
 // RunGraph executes the dag with the Figure 3 scheduling loop on native
@@ -88,9 +95,9 @@ func RunGraph(cfg GraphConfig) GraphResult {
 	r := &graphRun{
 		cfg:       cfg,
 		g:         cfg.Graph,
-		remaining: make([]atomic.Int32, n),
+		remaining: make([]atomicx.SCInt32, n),
 		ids:       make([]dag.NodeID, n),
-		perWorker: make([]atomic.Int64, cfg.Workers),
+		perWorker: make([]atomicx.Publish64, cfg.Workers),
 	}
 	for i := 0; i < n; i++ {
 		r.remaining[i].Store(int32(cfg.Graph.InDegree(dag.NodeID(i))))
@@ -102,9 +109,13 @@ func RunGraph(cfg GraphConfig) GraphResult {
 		case DequeMutex:
 			r.deques = append(r.deques, deque.NewMutexWithCapacity[dag.NodeID](n+1))
 		case DequeChaseLev:
-			r.deques = append(r.deques, deque.NewChaseLev[dag.NodeID]())
+			cl := deque.NewChaseLev[dag.NodeID]()
+			cl.SetRelaxed(cfg.RelaxedAtomics)
+			r.deques = append(r.deques, cl)
 		default:
-			r.deques = append(r.deques, deque.NewWithCapacity[dag.NodeID](n+1))
+			abp := deque.NewWithCapacity[dag.NodeID](n + 1)
+			abp.SetRelaxed(cfg.RelaxedAtomics)
+			r.deques = append(r.deques, abp)
 		}
 	}
 
@@ -226,8 +237,9 @@ func (r *graphRun) execute(u dag.NodeID) (c0, c1 dag.NodeID) {
 	return c0, c1
 }
 
-// spinSink defeats dead-code elimination of the spin loop.
-var spinSink atomic.Uint64
+// spinSink defeats dead-code elimination of the spin loop. Publication
+// ordering suffices: nothing ever reads it back.
+var spinSink atomicx.PublishUint64
 
 // spin burns roughly n iterations of integer work.
 func spin(n int) {

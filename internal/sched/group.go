@@ -2,7 +2,8 @@ package sched
 
 import (
 	"runtime"
-	"sync/atomic"
+
+	"worksteal/internal/atomicx"
 )
 
 // Group tracks a dynamic set of spawned tasks so they can be joined
@@ -13,8 +14,12 @@ import (
 // A Group may be reused after Wait returns. Spawning from inside member
 // tasks is allowed (the count covers them transitively).
 type Group struct {
-	pending atomic.Int64
-	ch      atomic.Pointer[chan struct{}]
+	// pending's decrement result is consumed (exactly one decrementer
+	// observes zero and wakes the waiters): sc arbitration.
+	pending atomicx.SCInt64
+	// ch is swapped out by the waker — an atomic read-modify-write that
+	// exactly one caller wins per generation, hence sc.
+	ch atomicx.SCPointer[chan struct{}]
 }
 
 // NewGroup returns an empty group.

@@ -31,8 +31,8 @@ package sched
 
 import (
 	"fmt"
-	"sync/atomic"
 
+	"worksteal/internal/atomicx"
 	"worksteal/internal/fault"
 )
 
@@ -53,18 +53,23 @@ var (
 // pointer itself is atomic so every cross-goroutine access in the package
 // is a sync/atomic operation (the abpvet atomicmix contract), though the
 // seq protocol alone already orders it.
+// Both fields are publication-only (release/acquire): the cross-queue
+// Dekker visibility the parking protocol needs rides the sc reservation
+// CAS on enq, not the cell words.
 type injectorCell struct {
-	seq atomic.Uint64
-	t   atomic.Pointer[Task]
+	seq atomicx.PublishUint64
+	t   atomicx.PublishPointer[Task]
 }
 
 // injector is one bounded MPMC shard. enq and deq are the producer and
 // consumer positions; they sit on separate cache lines so a submission
 // burst and a draining worker do not false-share.
+// enq and deq are CAS-arbitrated between producers/consumers and carry
+// the parking protocol's visibility (Len's loads), so they stay sc.
 type injector struct {
-	enq atomic.Uint64
+	enq atomicx.SCUint64
 	_   [56]byte
-	deq atomic.Uint64
+	deq atomicx.SCUint64
 	_   [56]byte
 	// mask is capacity-1; the capacity is rounded up to a power of two so
 	// position-to-slot mapping is a single AND.

@@ -86,14 +86,14 @@ func (w *Worker) loop() {
 	// Root fallback from startSession. execOrDrop keeps an aborted session's
 	// root (e.g. a pre-cancelled RunContext) from executing into a dead
 	// run: it is discarded and counted instead.
-	if t := w.handoff; t != nil {
-		w.handoff = nil
+	if t := w.handoff.Get(); t != nil {
+		w.handoff.Set(nil)
 		w.execOrDrop(t)
 	}
 	fails := 0
 	ticks := 0
 	for !w.pool.stopped.Load() {
-		w.progress.Add(1)
+		w.progress.AddOwner(w.relaxed, 1)
 		ticks++
 		var t *Task
 		if ticks%injectorPollPeriod == 0 {
@@ -106,7 +106,7 @@ func (w *Worker) loop() {
 		}
 		if t == nil {
 			if !w.pool.cfg.DisableYield {
-				w.yields.Add(1)
+				w.yields.AddOwner(w.relaxed, 1)
 				runtime.Gosched()
 			}
 			fault.Point(fpLoopBeforeSteal)

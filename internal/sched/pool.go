@@ -32,9 +32,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"worksteal/internal/atomicx"
 	"worksteal/internal/deque"
 	"worksteal/internal/fault"
 )
@@ -133,6 +133,15 @@ type Config struct {
 	// detected stall episode. It must be safe to call concurrently with
 	// the run and must not block for long (it delays later detections).
 	OnStall func(StallReport)
+	// RelaxedAtomics enables the proof-gated hot-path downgrades: owner-side
+	// reloads of deque bottom indexes and per-worker counter updates use
+	// plain accesses instead of atomics where the abporder analyzer proves
+	// every write sits in a single-owner context (//abp:owner). Correctness
+	// is unaffected — the Dekker stores, CAS arbitration, and all
+	// cross-goroutine publication stay sequentially consistent; only
+	// owner-private re-reads and owner-private read-modify-writes relax.
+	// The E15 ablation (EXPERIMENTS.md) measures the difference.
+	RelaxedAtomics bool
 }
 
 // Task is the unit of work handled by the scheduler. Every task belongs to
@@ -155,18 +164,25 @@ type Pool struct {
 	parkThreshold int
 	workers       []*Worker
 	inject        []*injector
-	shardRR       atomic.Uint32 // submission shard rotation (injector.go)
-	stopped       atomic.Bool   // session shutdown flag: the loop-exit condition
-	running       atomic.Bool   // guards against concurrent Run/RunContext/Serve
-	serving       atomic.Bool   // a Serve is accepting Submits
-	idle          atomic.Int32  // workers parked or in a backoff nap (lifecycle.go)
-	dropped       atomic.Int64  // tasks discarded after a panic-aborted submission
-	cancelledN    atomic.Int64  // tasks discarded by a cancelled/stopped submission
-	stalls        atomic.Int64  // stall episodes surfaced by the watchdog
-	submitted     atomic.Int64  // submissions accepted onto the injector
-	rejected      atomic.Int64  // submissions rejected with ErrOverloaded
-	callerRuns    atomic.Int64  // submissions shed to the caller (ShedCallerRuns)
-	wg            sync.WaitGroup
+	// Ordering disciplines (internal/atomicx, checked by abporder): the
+	// SC-declared fields either arbitrate (shardRR's consumed Add, running's
+	// CAS) or participate in the park/submit handshakes (stopped, serving,
+	// idle, and the submission counters are all read or written inside
+	// //abp:handshake carrier functions, whose store→load shape needs the
+	// full ordering). The Publish-declared counters are blind increments
+	// read only by Stats — release/acquire publication suffices.
+	shardRR    atomicx.SCUint32  // submission shard rotation (injector.go)
+	stopped    atomicx.SCBool    // session shutdown flag: the loop-exit condition
+	running    atomicx.SCBool    // guards against concurrent Run/RunContext/Serve
+	serving    atomicx.SCBool    // a Serve is accepting Submits
+	idle       atomicx.SCInt32   // workers parked or in a backoff nap (lifecycle.go)
+	dropped    atomicx.Publish64 // tasks discarded after a panic-aborted submission
+	cancelledN atomicx.Publish64 // tasks discarded by a cancelled/stopped submission
+	stalls     atomicx.Publish64 // stall episodes surfaced by the watchdog
+	submitted  atomicx.SCInt64   // submissions accepted onto the injector
+	rejected   atomicx.SCInt64   // submissions rejected with ErrOverloaded
+	callerRuns atomicx.SCInt64   // submissions shed to the caller (ShedCallerRuns)
+	wg         sync.WaitGroup
 
 	// Active-submission registry: every in-flight run, registered at
 	// submission and removed by its finishOnce. The shutdown and
@@ -187,33 +203,47 @@ type Pool struct {
 // Worker is the execution context passed to every task; it identifies the
 // worker goroutine running the task and provides the spawning operations.
 type Worker struct {
-	pool    *Pool
-	id      int
-	dq      deque.Dequer[Task]
-	rng     *rand.Rand
-	rr      int   // round-robin victim cursor; reset each session (determinism)
-	handoff *Task // root task fallback slot (startSession), consumed by loop
-	run     *run  // submission of the task currently executing (exec)
+	pool *Pool
+	id   int
+	dq   deque.Dequer[Task]
+	rng  *rand.Rand
+	rr   int // round-robin victim cursor; reset each session (determinism)
+	// handoff is the root task fallback slot (startSession), consumed by
+	// loop; declared plain because every access pair is ordered by the
+	// session fork/join edges (the abporder cat-6 proof).
+	handoff atomicx.PlainPointer[Task]
+	run     *run // submission of the task currently executing (exec)
+	// relaxed mirrors Config.RelaxedAtomics: gates the owner-side counter
+	// downgrades (AddOwner below). Written once in New, before any sharing.
+	relaxed bool
 
 	parkCh chan struct{} // capacity-1 wake token (lifecycle.go)
-	parked atomic.Bool
+	// parked is half of the park/wake Dekker handshake
+	// (//abp:handshake store=parked load=anyVisibleWork): sc required.
+	parked atomicx.SCBool
 
 	// progress ticks on every loop iteration and task completion; the
 	// stall watchdog (watchdog.go) reads it to tell a live worker from one
-	// frozen mid-operation.
-	progress atomic.Int64
+	// frozen mid-operation. Written only by the worker's own goroutine
+	// (loop/exec/execOrDrop, all //abp:owner), so the increment relaxes to
+	// an owner read-modify-write under RelaxedAtomics; the store half stays
+	// atomic so the watchdog's reads are always safe.
+	progress atomicx.Publish64
 
 	// Per-worker counters, summed by Pool.Stats. Atomics so Stats is safe
-	// to call while the run is in flight.
-	tasksRun      atomic.Int64
-	spawns        atomic.Int64
-	inlineRuns    atomic.Int64
-	steals        atomic.Int64
-	stealAttempts atomic.Int64
-	yields        atomic.Int64
-	parks         atomic.Int64
-	wakes         atomic.Int64
-	backoffNanos  atomic.Int64
+	// to call while the run is in flight. The Publish-declared ones are
+	// owner-only blind increments (AddOwner under RelaxedAtomics); the
+	// SC-declared ones are updated inside //abp:handshake carrier functions
+	// (Spawn, park), which abporder pins to full ordering.
+	tasksRun      atomicx.Publish64
+	spawns        atomicx.SCInt64
+	inlineRuns    atomicx.SCInt64
+	steals        atomicx.Publish64
+	stealAttempts atomicx.Publish64
+	yields        atomicx.Publish64
+	parks         atomicx.SCInt64
+	wakes         atomicx.SCInt64
+	backoffNanos  atomicx.SCInt64
 }
 
 // New builds a pool. The zero Config is valid.
@@ -262,16 +292,21 @@ func New(cfg Config) *Pool {
 		case DequeMutex:
 			dq = deque.NewMutexWithCapacity[Task](cfg.DequeCapacity)
 		case DequeChaseLev:
-			dq = deque.NewChaseLev[Task]()
+			cl := deque.NewChaseLev[Task]()
+			cl.SetRelaxed(cfg.RelaxedAtomics)
+			dq = cl
 		default:
-			dq = deque.NewWithCapacity[Task](cfg.DequeCapacity)
+			abp := deque.NewWithCapacity[Task](cfg.DequeCapacity)
+			abp.SetRelaxed(cfg.RelaxedAtomics)
+			dq = abp
 		}
 		p.workers = append(p.workers, &Worker{
-			pool:   p,
-			id:     i,
-			dq:     dq,
-			rng:    rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
-			parkCh: make(chan struct{}, 1),
+			pool:    p,
+			id:      i,
+			dq:      dq,
+			rng:     rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
+			parkCh:  make(chan struct{}, 1),
+			relaxed: cfg.RelaxedAtomics,
 		})
 	}
 	return p
@@ -415,7 +450,7 @@ func (p *Pool) startSession(root *Task) {
 	}
 	if root != nil {
 		if !p.workers[0].dq.PushBottom(root) {
-			p.workers[0].handoff = root
+			p.workers[0].handoff.Set(root)
 		}
 	}
 	p.wg.Add(len(p.workers))
@@ -472,8 +507,8 @@ func (p *Pool) drainByRun() {
 			}
 			account(t)
 		}
-		if t := w.handoff; t != nil {
-			w.handoff = nil
+		if t := w.handoff.Get(); t != nil {
+			w.handoff.Set(nil)
 			account(t)
 		}
 		select {
@@ -520,8 +555,11 @@ func (p *Pool) injectorBacklog() int64 {
 }
 
 // stealOnce performs one steal attempt against a victim chosen per the
-// configured policy (uniformly random by default, Figure 3 line 16).
+// configured policy (uniformly random by default, Figure 3 line 16). The
+// steal counters are owner-only (this worker's goroutine is their sole
+// writer), so their increments relax under RelaxedAtomics.
 //
+//abp:owner steal counters belong to the stealing worker's own goroutine
 //abp:nonblocking
 func (w *Worker) stealOnce() *Task {
 	n := len(w.pool.workers)
@@ -538,11 +576,11 @@ func (w *Worker) stealOnce() *Task {
 	if v >= w.id {
 		v++
 	}
-	w.stealAttempts.Add(1)
+	w.stealAttempts.AddOwner(w.relaxed, 1)
 	fault.Point(fpStealBeforePopTop)
 	t := w.pool.workers[v].dq.PopTop()
 	if t != nil {
-		w.steals.Add(1)
+		w.steals.AddOwner(w.relaxed, 1)
 	}
 	return t
 }
@@ -553,6 +591,8 @@ func (w *Worker) stealOnce() *Task {
 // replacement for the old between-runs drain: tasks of interleaved
 // submissions share the deques, so staleness is decided per task at pop
 // time, not per pool at session boundaries.
+//
+//abp:owner runs only on the goroutine that owns the worker (its loop, a helping Join on it, or the submitter for the ephemeral caller-runs worker)
 func (w *Worker) execOrDrop(t *Task) {
 	r := t.run
 	if s := r.state.Load(); s != runLive {
@@ -561,7 +601,7 @@ func (w *Worker) execOrDrop(t *Task) {
 		} else {
 			w.pool.cancelledN.Add(1)
 		}
-		w.progress.Add(1)
+		w.progress.AddOwner(w.relaxed, 1)
 		if r.pending.Add(-1) == 0 {
 			r.complete() // no-op: the abort already finished the run
 		}
@@ -584,8 +624,8 @@ func (w *Worker) exec(t *Task) {
 	w.run = r
 	w.runTask(t, r)
 	w.run = prev
-	w.tasksRun.Add(1)
-	w.progress.Add(1)
+	w.tasksRun.AddOwner(w.relaxed, 1)
+	w.progress.AddOwner(w.relaxed, 1)
 	if r.pending.Add(-1) == 0 {
 		r.complete()
 	}

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"worksteal/internal/workload"
+)
+
+// The RelaxedAtomics tests exercise every proof-gated downgrade — the
+// owner-side deque reloads (deque.LoadOwner) and the per-worker counter
+// AddOwners — under load that forces steals, parks, and injector traffic.
+// Run under -race they are the dynamic check backing abporder's static
+// owner proofs: if a "relaxed" site were ever not owner-private, the race
+// detector sees the plain access conflict immediately.
+
+func TestRelaxedAtomicsSpawnTree(t *testing.T) {
+	for _, kind := range []DequeKind{DequeABP, DequeChaseLev} {
+		p := New(Config{Workers: 4, Deque: kind, RelaxedAtomics: true})
+		var count atomic.Int64
+		var spawnTree func(w *Worker, depth int)
+		spawnTree = func(w *Worker, depth int) {
+			count.Add(1)
+			if depth == 0 {
+				return
+			}
+			w.Spawn(func(w2 *Worker) { spawnTree(w2, depth-1) })
+			w.Spawn(func(w2 *Worker) { spawnTree(w2, depth-1) })
+		}
+		p.Run(func(w *Worker) { spawnTree(w, 10) })
+		if want := int64(1<<11 - 1); count.Load() != want {
+			t.Fatalf("deque=%d: count = %d, want %d", kind, count.Load(), want)
+		}
+		if s := p.Stats(); s.TasksRun != 1<<11-1 {
+			t.Fatalf("deque=%d: TasksRun = %d, want %d", kind, s.TasksRun, 1<<11-1)
+		}
+	}
+}
+
+func TestRelaxedAtomicsServe(t *testing.T) {
+	p := New(Config{Workers: 4, RelaxedAtomics: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Serve(ctx) }()
+	waitFor(t, 10*time.Second, "pool to start serving", p.serving.Load)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				h, err := p.Submit(func(w *Worker) {
+					w.Spawn(func(*Worker) { total.Add(1) })
+					total.Add(1)
+				})
+				if err != nil {
+					continue // not serving yet, or overloaded: both fine here
+				}
+				if err := h.Wait(); err != nil {
+					t.Errorf("submission failed: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Serve returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRelaxedAtomicsGraphRun(t *testing.T) {
+	g := workload.FibDag(16)
+	for _, kind := range []DequeKind{DequeABP, DequeChaseLev} {
+		res := RunGraph(GraphConfig{
+			Graph:          g,
+			Workers:        4,
+			Deque:          kind,
+			NodeWork:       32,
+			RelaxedAtomics: true,
+		})
+		if res.NodesExecuted != int64(g.NumNodes()) {
+			t.Fatalf("deque=%d: executed %d of %d nodes", kind, res.NodesExecuted, g.NumNodes())
+		}
+	}
+}

@@ -26,7 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"worksteal/internal/atomicx"
 )
 
 // Errors returned by Submit and Handle.Wait.
@@ -87,12 +88,15 @@ type run struct {
 	pool *Pool
 	// pending counts the root plus every transitively spawned task not
 	// yet executed or discarded; the decrement that reaches zero
-	// completes the submission.
-	pending atomic.Int64
+	// completes the submission. sc: the decrement's result is consumed —
+	// exactly one decrementer observes zero, an arbitration.
+	pending atomicx.SCInt64
 	// state gates execution (see the constants above). It is written
 	// inside finishOnce before the abort channel closes, so a worker that
 	// observes an aborted state can rely on err/panicVal being set.
-	state atomic.Int32
+	// Publication ordering suffices: readers only gate on the value, no
+	// store→load shape involves it.
+	state atomicx.Publish32
 	// finishOnce arbitrates the submission's single outcome: completion
 	// (pending hit zero) or abort (task panic, cancellation, engine
 	// failure) — first caller wins, exactly like the old Pool.abortOnce.
@@ -109,8 +113,10 @@ type run struct {
 	// context.AfterFunc watcher; empty otherwise. Stored before the run is
 	// published to workers and called inside finishOnce; atomic because
 	// the submitter's store races the worker that pops, completes, and
-	// finishes the submission in the same instant.
-	stopWatch atomic.Pointer[func() bool]
+	// finishes the submission in the same instant. sc because the store
+	// sits inside the SubmitContext handshake carrier, whose store→load
+	// protocol abporder pins to full ordering.
+	stopWatch atomicx.SCPointer[func() bool]
 }
 
 func newRun(p *Pool) *run {
