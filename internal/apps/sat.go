@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"worksteal/internal/atomicx"
 	"worksteal/internal/sched"
 )
 
@@ -101,8 +102,14 @@ func (s *satState) litValue(lit int) uint8 {
 
 // satSolver holds the shared search state.
 type satSolver struct {
-	f     CNF
+	f CNF
+	// found is CAS'd once (the winning model) but polled by every branch
+	// at every node; nodes is incremented by every branch at every node.
+	// Unpadded they share a line, so each nodes.Add would invalidate the
+	// found line every solver goroutine is polling — the textbook false
+	// sharing abplayout flags (DESIGN.md §12).
 	found atomic.Pointer[[]bool]
+	_     atomicx.CacheLinePad
 	nodes atomic.Int64
 }
 

@@ -33,10 +33,18 @@ type ChaseLev[T any] struct {
 	// top is CAS-arbitrated between thieves (and popBottom's last-item
 	// race), so it stays sequentially consistent.
 	top atomicx.SCInt64 // next index to steal; monotonically increasing
+	// The thieves' CAS line must not be invalidated by the owner's
+	// per-push bottom stores (the abplayout false-sharing finding this
+	// pad resolves: top is thief-CAS-hot, bottom is owner-store-hot).
+	_ atomicx.CacheLinePad
 	// bottom's store in popBottom is the first half of a Dekker
 	// store(bottom)→load(top) handshake, so its stores stay sc; the
 	// owner's reloads are downgradeable (LoadOwner below).
 	bottom atomicx.SCInt64 // next index to push
+	// bottom is stored on every owner push/pop while thieves re-read the
+	// ring pointer on every steal; keeping the owner's store target off
+	// the thieves' read line saves an invalidation per owner op.
+	_ atomicx.CacheLinePad
 	// array is published by the owner to thieves on grow; release/acquire
 	// suffices (no store→load shape involves it).
 	array atomicx.PublishPointer[clRing[T]]

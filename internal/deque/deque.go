@@ -65,12 +65,15 @@ type Deque[T any] struct {
 	// Padding separates the thieves' CAS target (age) from the owner's
 	// high-frequency store target (bot), avoiding false sharing between
 	// the one cache line every thief hammers and the one the owner owns.
-	_ [56]byte
+	// A full-line pad isolates regardless of the neighbors' sizes, so the
+	// abplayout analyzer can guard it structurally instead of checking
+	// hand-counted complement arithmetic.
+	_ atomicx.CacheLinePad
 	// bot is written only by the owner but participates in the same Dekker
 	// handshake (store bot, then load age), so its stores stay sc; the
 	// owner's own reloads of it are downgradeable (LoadOwner below).
 	bot atomicx.SCUint32 // index below the bottom item
-	_   [60]byte
+	_   atomicx.CacheLinePad
 	// deq slots only ever publish a node from one process to another; the
 	// surrounding age/bot protocol supplies all cross-slot ordering.
 	deq []atomicx.PublishPointer[T]

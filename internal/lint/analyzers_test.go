@@ -15,6 +15,33 @@ func TestMustCheck(t *testing.T)   { runAnalyzerTest(t, MustCheck, "mustcheck") 
 func TestTagABA(t *testing.T)      { runAnalyzerTest(t, TagABA, "tagaba") }
 func TestAbpRace(t *testing.T)     { runAnalyzerTest(t, AbpRace, "abprace") }
 func TestAbpOrder(t *testing.T)    { runAnalyzerTest(t, AbpOrder, "abporder") }
+func TestAbpLayout(t *testing.T)   { runAnalyzerTest(t, AbpLayout, "abplayout") }
+
+// TestSeededLayout replays the pre-PR-8 Chase-Lev layout — the
+// thief-CAS'd top packed against the owner-stored bottom and the ring
+// pointer — and asserts abplayout flags the false sharing. The explicit
+// count below keeps the fixture from degrading into a vacuously passing
+// one: if this reports nothing, the padding in internal/deque/chaselev.go
+// is no longer guarded against reverts.
+func TestSeededLayout(t *testing.T) {
+	runAnalyzerTest(t, AbpLayout, "seededlayout")
+
+	pkgs, err := NewLoader().Load("testdata/src/seededlayout", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(AbpLayout, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(diags)
+	}
+	if total == 0 {
+		t.Fatal("abplayout reported nothing on the seeded pre-PR Chase-Lev layout: the top/bottom false-sharing class would ship again")
+	}
+}
 
 // TestSeededPR1Bug replays, in miniature, the discarded-PushBottom bug that
 // PR 1 fixed in sched.(*Pool).submitRoot and asserts that mustcheck now

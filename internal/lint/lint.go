@@ -25,11 +25,12 @@
 //	//abp:ignore <analyzer> <justification>
 //	//abp:race-ignore <justification>
 //	//abp:order-ignore <justification>
+//	//abp:layout-ignore <justification>
 //
-// placed on (or on the line directly above) the flagged line. The second
-// and third forms are shorthands scoped to the abprace and abporder
-// analyzers respectively. The justification text is mandatory in all
-// three: a bare ignore does not suppress.
+// placed on (or on the line directly above) the flagged line. The last
+// three forms are shorthands scoped to the abprace, abporder and
+// abplayout analyzers respectively. The justification text is mandatory
+// in all four: a bare ignore does not suppress.
 package lint
 
 import (
@@ -76,10 +77,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All returns the abpvet analyzer suite: PR 2's four syntactic analyzers,
-// PR 3's four flow-aware ones, PR 4's whole-package race detector, and
-// PR 7's memory-ordering necessity analyzer, in alphabetical order.
+// PR 3's four flow-aware ones, PR 4's whole-package race detector, PR 7's
+// memory-ordering necessity analyzer, and PR 8's cache-layout analyzer,
+// in alphabetical order.
 func All() []*Analyzer {
-	return []*Analyzer{AbpOrder, AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
+	return []*Analyzer{AbpLayout, AbpOrder, AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings,
@@ -162,6 +164,11 @@ func CollectIgnores(pkg *Package) *Ignores {
 						continue // no justification: directive is inert
 					}
 					analyzer, form = AbpOrder.Name, "//abp:order-ignore"
+				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:layout-ignore"); ok {
+					if len(strings.Fields(rest)) < 1 {
+						continue // no justification: directive is inert
+					}
+					analyzer, form = AbpLayout.Name, "//abp:layout-ignore"
 				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:ignore"); ok {
 					fields := strings.Fields(rest)
 					if len(fields) < 2 {

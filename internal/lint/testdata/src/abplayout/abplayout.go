@@ -1,0 +1,163 @@
+// Package abplayout exercises the cache-layout analyzer: false sharing
+// between an arbitration-hot word and its line neighbors, miscounted
+// complement pads, contention-hot element packing, line-straddling CAS
+// aggregates, the //abp:layout-ignore waiver, and the accepted shapes
+// (correct pads, owner-only clusters, generic structs).
+package abplayout
+
+import "sync/atomic"
+
+// A thief-CAS'd head sharing its line with a counter every caller
+// increments: the counter's writes invalidate the line the CAS
+// contenders spin on.
+type lockFree struct {
+	head  atomic.Uint64
+	count atomic.Int64 // want `false sharing in lockFree: head \(cas-hot\) and count \(shared-write\) share cache line 0`
+}
+
+func (q *lockFree) take() bool {
+	q.count.Add(1)
+	h := q.head.Load()
+	return q.head.CompareAndSwap(h, h+1)
+}
+
+// The same shape with a correctly counted complement pad: count starts at
+// offset 64, so the pad still isolates and nothing is flagged.
+type padded struct {
+	head  atomic.Uint64
+	_     [56]byte
+	count atomic.Int64
+}
+
+func (q *padded) take() bool {
+	q.count.Add(1)
+	h := q.head.Load()
+	return q.head.CompareAndSwap(h, h+1)
+}
+
+// A full-line blank pad isolates no matter where it lands: head and count
+// end up a whole line apart even though count is not line-aligned.
+type isolated struct {
+	head  atomic.Uint64
+	_     [64]byte
+	count atomic.Int64
+}
+
+func (q *isolated) take() bool {
+	q.count.Add(1)
+	h := q.head.Load()
+	return q.head.CompareAndSwap(h, h+1)
+}
+
+// The sharing is deliberate here and waived: a justified
+// //abp:layout-ignore on the line above the flagged field suppresses it.
+type waived struct {
+	head atomic.Uint64
+	//abp:layout-ignore head and tail are co-written in one ordered sequence by the winning caller
+	tail atomic.Int64
+}
+
+func (q *waived) take() bool {
+	q.tail.Add(1)
+	h := q.head.Load()
+	return q.head.CompareAndSwap(h, h+1)
+}
+
+// A pad whose arithmetic went stale: 40 bytes leaves tail at offset 48,
+// which fails to line-align it and keeps it on the line the CAS'd head
+// owns.
+type stale struct {
+	head atomic.Uint64
+	_    [40]byte      // want `miscounted pad in stale: the 40-byte pad leaves tail at offset 48`
+	tail atomic.Uint64 // want `false sharing in stale: head \(cas-hot\) and tail \(read-mostly\) share cache line 0`
+}
+
+func (q *stale) take() uint64 {
+	h := q.head.Load()
+	if q.head.CompareAndSwap(h, h+1) {
+		return q.tail.Load()
+	}
+	return 0
+}
+
+// Sixteen-byte MPMC cells pack four per line: a producer publishing cell
+// i and a consumer releasing cell i-1 dirty the same line.
+type cell struct {
+	seq atomic.Uint64
+	val atomic.Pointer[int]
+}
+
+type ring struct {
+	mask  uint64
+	cells []cell // want `element packing in ring: 16-byte cell elements of cells pack 4 per cache line`
+}
+
+func (r *ring) push(i uint64, v *int) {
+	r.cells[i&r.mask].val.Store(v)
+	r.cells[i&r.mask].seq.Store(i + 1)
+}
+
+func (r *ring) pop(i uint64) *int {
+	if r.cells[i&r.mask].seq.Load() != i+1 {
+		return nil
+	}
+	return r.cells[i&r.mask].val.Load()
+}
+
+// A CAS-hot aggregate starting at offset 56 straddles the line boundary:
+// one arbitration word priced at a single line costs two.
+type striped struct {
+	hdr   [56]byte
+	locks [2]atomic.Uint64 // want `hot CAS word locks of striped straddles cache lines 0 and 1`
+}
+
+func (s *striped) lock(i int) bool { return s.locks[i].CompareAndSwap(0, 1) }
+
+// A declared Dekker handshake marks its words arbitration-hot even
+// without a CAS: the stored flag is the protocol's publish side, and the
+// blind counter next to it dirties the line every peer polls.
+type dekker struct {
+	flag atomic.Uint64
+	done atomic.Int64 // want `false sharing in dekker: flag \(handshake-hot\) and done \(shared-write\) share cache line 0`
+}
+
+// publish stores the flag, then re-checks the peer (Dekker order).
+//
+//abp:handshake store=flag load=peerReady
+func (d *dekker) publish(peer *dekker) bool {
+	d.flag.Store(1)
+	return peer.peerReady()
+}
+
+func (d *dekker) peerReady() bool { return d.flag.Load() != 0 }
+
+func (d *dekker) finish() { d.done.Add(1) }
+
+// Owner-only counters sharing a line is the idiom, not the bug: both
+// fields are written receiver-direct inside an audited owner context, so
+// no cross-party invalidation exists to flag.
+type stats struct {
+	a atomic.Int64
+	b atomic.Int64
+}
+
+// bump runs on the owning goroutine only.
+//
+//abp:owner the loop goroutine is the sole writer of its stats
+func (w *stats) bump() {
+	w.a.Add(1)
+	w.b.Add(1)
+}
+
+// A generic struct with a bare type-parameter field has no concrete
+// layout; the analyzer skips it rather than guess.
+type box[T any] struct {
+	val  T
+	mark atomic.Uint64
+}
+
+func fill[T any](b *box[T], v T) {
+	if b.mark.CompareAndSwap(0, 1) {
+		b.val = v
+	}
+}

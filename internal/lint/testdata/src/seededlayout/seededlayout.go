@@ -1,0 +1,56 @@
+// Package seededlayout pins the abplayout analyzer's non-vacuity on the
+// layout bug this repository actually shipped: before PR 8, the
+// Chase-Lev deque declared the thief-CAS'd top directly against the
+// owner-stored bottom and the ring pointer, so every owner push/pop
+// invalidated the one cache line all thieves contend on (and every
+// thief CAS invalidated the owner's line back). This package is that
+// pre-PR struct in miniature; if the analyzer ever stops flagging it,
+// the live padding in internal/deque/chaselev.go is no longer guarded.
+package seededlayout
+
+import "sync/atomic"
+
+type chaseLev struct {
+	top    atomic.Int64
+	bottom atomic.Int64         // want `false sharing in chaseLev: top \(cas-hot\) and bottom \(owner-hot\) share cache line 0`
+	array  atomic.Pointer[ring] // want `false sharing in chaseLev: top \(cas-hot\) and array \(owner-hot\) share cache line 0`
+}
+
+type ring struct {
+	mask int64
+	buf  []atomic.Pointer[int]
+}
+
+// pushBottom is the owner's push: store the element, publish the new
+// bottom (and, when full, a grown ring).
+//
+//abp:owner pushBottom/popBottom are owner-only (paper §3.2)
+func (d *chaseLev) pushBottom(v *int) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.array.Load()
+	if b-t > r.mask {
+		bigger := &ring{mask: 2*r.mask + 1, buf: make([]atomic.Pointer[int], 2*(r.mask+1))}
+		for i := t; i < b; i++ {
+			bigger.buf[i&bigger.mask].Store(r.buf[i&r.mask].Load())
+		}
+		d.array.Store(bigger)
+		r = bigger
+	}
+	r.buf[b&r.mask].Store(v)
+	d.bottom.Store(b + 1)
+}
+
+func (d *chaseLev) popTop() *int {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b <= t {
+		return nil
+	}
+	r := d.array.Load()
+	v := r.buf[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return v
+}

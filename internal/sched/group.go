@@ -18,7 +18,12 @@ type Group struct {
 	// observes zero and wakes the waiters): sc arbitration.
 	pending atomicx.SCInt64
 	// ch is swapped out by the waker — an atomic read-modify-write that
-	// exactly one caller wins per generation, hence sc.
+	// exactly one caller wins per generation, hence sc. It shares
+	// pending's cache line on purpose: the decrementer that wins pending's
+	// zero race immediately swaps ch, so the two words are dirtied in one
+	// ordered sequence by the same goroutine — one invalidation, not two —
+	// and a Group is a small user-allocated value not worth a 64-byte pad.
+	//abp:layout-ignore pending and ch are co-written by the single winning waker per generation; padding would double a user-visible struct for one saved invalidation
 	ch atomicx.SCPointer[chan struct{}]
 }
 

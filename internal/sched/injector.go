@@ -56,9 +56,15 @@ var (
 // Both fields are publication-only (release/acquire): the cross-queue
 // Dekker visibility the parking protocol needs rides the sc reservation
 // CAS on enq, not the cell words.
+// The trailing pad sizes the cell to exactly one cache line: unpadded,
+// four 16-byte cells pack per line and a producer publishing cell i
+// collides with the consumer releasing a neighbor. The E16 ablation
+// (EXPERIMENTS.md) measured the packed layout ~35% slower on contended
+// submit, so the 4x ring footprint is bought deliberately.
 type injectorCell struct {
 	seq atomicx.PublishUint64
 	t   atomicx.PublishPointer[Task]
+	_   [atomicx.CacheLineSize - 16]byte
 }
 
 // injector is one bounded MPMC shard. enq and deq are the producer and
@@ -68,12 +74,14 @@ type injectorCell struct {
 // the parking protocol's visibility (Len's loads), so they stay sc.
 type injector struct {
 	enq atomicx.SCUint64
-	_   [56]byte
+	_   atomicx.CacheLinePad
 	deq atomicx.SCUint64
-	_   [56]byte
+	_   atomicx.CacheLinePad
 	// mask is capacity-1; the capacity is rounded up to a power of two so
 	// position-to-slot mapping is a single AND.
-	mask  uint64
+	mask uint64
+	// cells are line-sized (see injectorCell): element packing resolved
+	// by padding after the E16 measurement, not waived.
 	cells []injectorCell
 }
 

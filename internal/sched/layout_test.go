@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+	"unsafe"
+
+	"worksteal/internal/atomicx"
+)
+
+// Dynamic mirror of the abplayout analyzer for the scheduler's hot
+// structs (see internal/deque/layout_test.go for the deque halves): the
+// declared line isolation is asserted with unsafe.Offsetof on the host
+// architecture.
+
+func layoutLine(off uintptr) uintptr { return off / atomicx.CacheLineSize }
+
+// TestInjectorLayoutPins asserts the producer and consumer positions of
+// the MPMC injector live on distinct cache lines, so a submission burst
+// and a draining worker do not false-share.
+func TestInjectorLayoutPins(t *testing.T) {
+	var q injector
+	enq := unsafe.Offsetof(q.enq)
+	deq := unsafe.Offsetof(q.deq)
+	if layoutLine(enq) == layoutLine(deq) {
+		t.Errorf("enq (offset %d) and deq (offset %d) share a cache line", enq, deq)
+	}
+}
+
+// TestWorkerLayoutPins asserts the parked flag — the word every
+// producer's signalWork scans — is isolated from both the cold
+// per-worker wiring before it and the owner-hot progress/stat counters
+// after it.
+func TestWorkerLayoutPins(t *testing.T) {
+	var w Worker
+	parked := unsafe.Offsetof(w.parked)
+	parkCh := unsafe.Offsetof(w.parkCh)
+	run := unsafe.Offsetof(w.run)
+	progress := unsafe.Offsetof(w.progress)
+	tasksRun := unsafe.Offsetof(w.tasksRun)
+	if layoutLine(parked) == layoutLine(parkCh) || layoutLine(parked) == layoutLine(run) {
+		t.Errorf("parked (offset %d) shares a line with the worker wiring (parkCh %d, run %d)", parked, parkCh, run)
+	}
+	if layoutLine(parked) == layoutLine(progress) || layoutLine(parked) == layoutLine(tasksRun) {
+		t.Errorf("parked (offset %d) shares a line with the owner counters (progress %d, tasksRun %d)", parked, progress, tasksRun)
+	}
+}
+
+// TestPoolLayoutPins asserts the three arbitration words — running's
+// session CAS, shardRR's per-submission Add, idle's park/signal reads —
+// each sit on their own line, clear of each other and of the shared
+// counters.
+func TestPoolLayoutPins(t *testing.T) {
+	var p Pool
+	offs := map[string]uintptr{
+		"running": unsafe.Offsetof(p.running),
+		"shardRR": unsafe.Offsetof(p.shardRR),
+		"idle":    unsafe.Offsetof(p.idle),
+		"stopped": unsafe.Offsetof(p.stopped),
+		"dropped": unsafe.Offsetof(p.dropped),
+	}
+	for _, hot := range []string{"running", "shardRR", "idle"} {
+		for name, off := range offs {
+			if name == hot {
+				continue
+			}
+			if layoutLine(offs[hot]) == layoutLine(off) {
+				t.Errorf("%s (offset %d) shares a cache line with %s (offset %d)", hot, offs[hot], name, off)
+			}
+		}
+	}
+}

@@ -171,11 +171,22 @@ type Pool struct {
 	// //abp:handshake carrier functions, whose store→load shape needs the
 	// full ordering). The Publish-declared counters are blind increments
 	// read only by Stats — release/acquire publication suffices.
-	shardRR    atomicx.SCUint32  // submission shard rotation (injector.go)
-	stopped    atomicx.SCBool    // session shutdown flag: the loop-exit condition
-	running    atomicx.SCBool    // guards against concurrent Run/RunContext/Serve
-	serving    atomicx.SCBool    // a Serve is accepting Submits
-	idle       atomicx.SCInt32   // workers parked or in a backoff nap (lifecycle.go)
+	//
+	// Layout discipline (abplayout, DESIGN.md §12): the three arbitration
+	// words below — running's session CAS, shardRR's per-submission Add,
+	// idle's park/signal Dekker reads — each sit on their own cache line so
+	// none is invalidated by writes to the others or to the counters; the
+	// cold flags and the blindly incremented counters may share lines
+	// freely among themselves.
+	stopped    atomicx.SCBool // session shutdown flag: the loop-exit condition
+	serving    atomicx.SCBool // a Serve is accepting Submits
+	_          atomicx.CacheLinePad
+	running    atomicx.SCBool // guards against concurrent Run/RunContext/Serve
+	_          atomicx.CacheLinePad
+	shardRR    atomicx.SCUint32 // submission shard rotation (injector.go)
+	_          atomicx.CacheLinePad
+	idle       atomicx.SCInt32 // workers parked or in a backoff nap (lifecycle.go)
+	_          atomicx.CacheLinePad
 	dropped    atomicx.Publish64 // tasks discarded after a panic-aborted submission
 	cancelledN atomicx.Publish64 // tasks discarded by a cancelled/stopped submission
 	stalls     atomicx.Publish64 // stall episodes surfaced by the watchdog
@@ -220,7 +231,14 @@ type Worker struct {
 	parkCh chan struct{} // capacity-1 wake token (lifecycle.go)
 	// parked is half of the park/wake Dekker handshake
 	// (//abp:handshake store=parked load=anyVisibleWork): sc required.
+	// Every producer's signalWork scans every worker's parked flag, so the
+	// flag gets its own cache line — neither the cold per-worker wiring
+	// above nor the owner-hot counters below may dirty the line the whole
+	// pool polls (the abplayout Worker finding; reverting either pad
+	// re-flags the live tree).
+	_      atomicx.CacheLinePad
 	parked atomicx.SCBool
+	_      atomicx.CacheLinePad
 
 	// progress ticks on every loop iteration and task completion; the
 	// stall watchdog (watchdog.go) reads it to tell a live worker from one
