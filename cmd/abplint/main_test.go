@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"worksteal/internal/lint"
+)
+
+// The exhaustive flag/format matrix lives in cmd/abpvet's tests — the two
+// commands share lint.Tool, so abplint's tests pin only what is specific
+// to it: the name on its diagnostics, the full-suite -list, and that the
+// newest analyzer classes really flow through this front end.
+
+// runCLI invokes the command in process and returns its exit status and
+// captured streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, ".")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestListNamesAllTwelve(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	all := lint.All()
+	if len(all) != 12 {
+		t.Fatalf("suite has %d analyzers, want 12", len(all))
+	}
+	for _, a := range all {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestErrorsCarryOwnName(t *testing.T) {
+	code, _, stderr := runCLI(t, "./no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "abplint:") {
+		t.Errorf("operational error not attributed to abplint: %q", stderr)
+	}
+}
+
+// TestLivenessFindingsFlowThrough runs the full suite over the seeded
+// liveness fixture: the abpwait findings must surface through this front
+// end with their analyzer name attached, alongside the rest of the suite.
+func TestLivenessFindingsFlowThrough(t *testing.T) {
+	const seededWaitDir = "../../internal/lint/testdata/src/seededwait"
+	code, stdout, _ := runCLI(t, "-json", "-C", seededWaitDir, ".")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout: %s", code, stdout)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	waitFindings := 0
+	for _, f := range rep.Findings {
+		if f.Analyzer == "abpwait" {
+			waitFindings++
+		}
+	}
+	if waitFindings < 2 {
+		t.Fatalf("abpwait findings = %d, want >= 2 (naked wait and missed signal): %+v",
+			waitFindings, rep.Findings)
+	}
+}

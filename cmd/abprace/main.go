@@ -1,6 +1,7 @@
 // Command abprace runs only the whole-package static happens-before race
 // detector (analyzer abprace of package internal/lint) over Go packages —
 // the focused front end for the most expensive analyzer in the suite.
+// The whole suite at once is cmd/abplint.
 //
 // Usage:
 //

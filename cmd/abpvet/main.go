@@ -1,7 +1,9 @@
 // Command abpvet runs the repository's custom concurrency-contract
 // analyzers (package internal/lint) over Go packages, in the manner of a
 // golang.org/x/tools/go/analysis multichecker but with zero dependencies
-// outside the standard library.
+// outside the standard library. It is the historical name for the suite
+// and remains as a thin alias; cmd/abplint is the canonical front end and
+// the one CI invokes.
 //
 // Usage:
 //

@@ -16,6 +16,47 @@ func TestTagABA(t *testing.T)      { runAnalyzerTest(t, TagABA, "tagaba") }
 func TestAbpRace(t *testing.T)     { runAnalyzerTest(t, AbpRace, "abprace") }
 func TestAbpOrder(t *testing.T)    { runAnalyzerTest(t, AbpOrder, "abporder") }
 func TestAbpLayout(t *testing.T)   { runAnalyzerTest(t, AbpLayout, "abplayout") }
+func TestAbpWait(t *testing.T)     { runAnalyzerTest(t, AbpWait, "abpwait") }
+
+// TestSeededWait replays the two liveness bugs this repository shipped —
+// the PR-1 lost wakeup (a parked worker's token channel with no sender)
+// and the PR-6 invisible backoff nap (a bare time.Sleep a signal cannot
+// cut short) — and asserts abpwait reports both classes. The per-class
+// counts keep the fixture from degrading into a vacuously passing one:
+// if either reaches zero, that historical bug shape would ship unflagged
+// again.
+func TestSeededWait(t *testing.T) {
+	runAnalyzerTest(t, AbpWait, "seededwait")
+
+	pkgs, err := NewLoader().Load("testdata/src/seededwait", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naked, missed := 0, 0
+	for _, pkg := range pkgs {
+		diags, err := Run(AbpWait, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			switch {
+			case strings.Contains(d.Message, "naked wait"):
+				naked++
+			case strings.Contains(d.Message, "missed signal"):
+				missed++
+			}
+			if !strings.Contains(d.Message, "goroutine (*Worker).loop") {
+				t.Errorf("finding not attributed to the worker root:\n%s", d.Message)
+			}
+		}
+	}
+	if naked == 0 {
+		t.Fatal("abpwait reported no naked wait on the seeded senderless parkCh: the PR-1 lost-wakeup class would ship again")
+	}
+	if missed == 0 {
+		t.Fatal("abpwait reported no missed signal on the seeded bare-sleep backoff: the PR-6 invisible-nap class would ship again")
+	}
+}
 
 // TestSeededLayout replays the pre-PR-8 Chase-Lev layout — the
 // thief-CAS'd top packed against the owner-stored bottom and the ring

@@ -20,17 +20,18 @@
 //	                   any function it (transitively, statically) calls.
 //	//abp:nonblocking  the function must not perform blocking operations.
 //
-// And three take findings out of scope:
+// And these take findings out of scope:
 //
 //	//abp:ignore <analyzer> <justification>
 //	//abp:race-ignore <justification>
 //	//abp:order-ignore <justification>
 //	//abp:layout-ignore <justification>
+//	//abp:wait-ignore <justification>
 //
 // placed on (or on the line directly above) the flagged line. The last
-// three forms are shorthands scoped to the abprace, abporder and
-// abplayout analyzers respectively. The justification text is mandatory
-// in all four: a bare ignore does not suppress.
+// four forms are shorthands scoped to the abprace, abporder, abplayout
+// and abpwait analyzers respectively. The justification text is
+// mandatory in every form: a bare ignore does not suppress.
 package lint
 
 import (
@@ -78,10 +79,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the abpvet analyzer suite: PR 2's four syntactic analyzers,
 // PR 3's four flow-aware ones, PR 4's whole-package race detector, PR 7's
-// memory-ordering necessity analyzer, and PR 8's cache-layout analyzer,
-// in alphabetical order.
+// memory-ordering necessity analyzer, PR 8's cache-layout analyzer, and
+// PR 9's liveness analyzer, in alphabetical order.
 func All() []*Analyzer {
-	return []*Analyzer{AbpLayout, AbpOrder, AbpRace, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
+	return []*Analyzer{AbpLayout, AbpOrder, AbpRace, AbpWait, AtomicMix, CASLoop, Handshake, MustCheck, NonBlocking, OwnerEscape, OwnerOnly, TagABA}
 }
 
 // Run applies one analyzer to a loaded package and returns its findings,
@@ -169,6 +170,11 @@ func CollectIgnores(pkg *Package) *Ignores {
 						continue // no justification: directive is inert
 					}
 					analyzer, form = AbpLayout.Name, "//abp:layout-ignore"
+				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:wait-ignore"); ok {
+					if len(strings.Fields(rest)) < 1 {
+						continue // no justification: directive is inert
+					}
+					analyzer, form = AbpWait.Name, "//abp:wait-ignore"
 				} else if rest, ok := strings.CutPrefix(c.Text, "//abp:ignore"); ok {
 					fields := strings.Fields(rest)
 					if len(fields) < 2 {

@@ -1,0 +1,307 @@
+// Package abpwait exercises the liveness analyzer's four finding classes,
+// each with flagged, accepted, and (where it matters) suppressed cases.
+// Channel element types are deliberately varied so the local-alias
+// type-fallback never cross-talks between scenarios.
+package abpwait
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Class 1: naked-wait ---
+
+// quiet's channels have no send or close anywhere in the package: both
+// are struct fields, so the type fallback does not excuse them.
+type quiet struct {
+	a chan int8
+	b chan int8
+}
+
+func (q *quiet) recvNaked() {
+	<-q.a // want `naked wait`
+}
+
+func (q *quiet) selectNaked() {
+	select { // want `naked wait` `unbounded block`
+	case <-q.a:
+	case <-q.b:
+	}
+}
+
+func (q *quiet) recvWaived() {
+	//abp:wait-ignore the test harness injects tokens through unsafe plumbing the analyzer cannot see
+	<-q.a
+}
+
+func StartQuiet(q *quiet) {
+	go q.recvNaked()
+	go q.selectNaked()
+	go q.recvWaived()
+}
+
+// feed's source channel is likewise never signalled: the blocked range
+// loop can never advance and never terminate.
+type feed struct{ src chan int64 }
+
+func (f *feed) drain() {
+	for v := range f.src { // want `naked wait`
+		_ = v
+	}
+}
+
+func StartFeed(f *feed) { go f.drain() }
+
+// registry documents the accepted local-alias shape: the receive resolves
+// to a local copy of the channel, which has no identity-matched signal,
+// so the analyzer falls back to type matching and finds finish's close.
+type registry struct{ done chan uint8 }
+
+func (r *registry) snapshotWait() {
+	ch := r.done
+	<-ch
+}
+
+func (r *registry) finish() { close(r.done) }
+
+func StartRegistry(r *registry) {
+	go r.snapshotWait()
+	go r.finish()
+}
+
+// cbHolder documents the unknown-context rule: the signalling literal
+// only escapes as a value, so its eventual caller is unknown and the
+// signal conservatively counts as deliverable.
+type cbHolder struct {
+	ev         chan uint16
+	unsignaled chan uint32
+	cb         func()
+}
+
+func (h *cbHolder) waitEv() { <-h.ev }
+
+func Register(h *cbHolder) {
+	h.cb = func() { h.ev <- 1 }
+	go h.waitEv()
+}
+
+// MakeWaiter's literal escapes as a value: its wait has no goroutine
+// context, and the analyzer deliberately stays silent about it even
+// though unsignaled has no signal anywhere.
+func MakeWaiter(h *cbHolder) func() {
+	return func() { <-h.unsignaled }
+}
+
+// --- Class 2: missed-signal ---
+
+type poller struct {
+	ready atomic.Bool
+	stop  atomic.Bool
+}
+
+// pollLoop is the PR-6 bug shape: a bare sleep in a polling loop on a
+// goroutine root — a wake arriving mid-nap waits out the remaining sleep.
+func (p *poller) pollLoop() {
+	for {
+		if p.ready.Load() {
+			return
+		}
+		time.Sleep(time.Millisecond) // want `missed signal`
+	}
+}
+
+// napHelper is the interprocedural variant: the sleep sits in a helper
+// whose call site is on the caller's loop.
+func (p *poller) napHelper() {
+	time.Sleep(time.Microsecond) // want `missed signal`
+}
+
+func (p *poller) pollLoop2() {
+	for !p.ready.Load() {
+		p.napHelper()
+	}
+}
+
+func (p *poller) jitterLoop() {
+	for !p.stop.Load() {
+		//abp:wait-ignore deliberate fixed-cadence sampling loop; wake latency is not a concern here
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// warmSleep is a one-shot delay, not a polling loop: accepted.
+func (p *poller) warmSleep() {
+	time.Sleep(time.Millisecond)
+	for !p.ready.Load() {
+		_ = p.stop.Load()
+	}
+}
+
+func StartPollers(p *poller) {
+	go p.pollLoop()
+	go p.pollLoop2()
+	go p.jitterLoop()
+	go p.warmSleep()
+}
+
+// RetryExternal naps in a loop but only ever on the external root: the
+// caller chose to poll, and its latency is its own.
+func RetryExternal(f func() bool) {
+	for !f() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// --- Class 3: wait-cycle ---
+
+// pipeline deadlocks: the producer waits for an ack the consumer only
+// sends after receiving data, which the producer only sends after the ack.
+type pipeline struct {
+	data chan int32
+	ack  chan int32
+}
+
+func (p *pipeline) producer() {
+	<-p.ack // want `wait cycle`
+	p.data <- 1
+}
+
+func (p *pipeline) consumer() {
+	<-p.data
+	p.ack <- 1
+}
+
+func StartPipeline(p *pipeline) {
+	go p.producer()
+	go p.consumer()
+}
+
+// okPipeline breaks the cycle: the consumer acks before waiting, so the
+// producer's wakeup is never sequenced behind the consumer's wait.
+type okPipeline struct {
+	data chan int32
+	ack  chan int32
+}
+
+func (p *okPipeline) producer() {
+	<-p.ack
+	p.data <- 1
+}
+
+func (p *okPipeline) consumer() {
+	p.ack <- 1
+	<-p.data
+}
+
+func StartOKPipeline(p *okPipeline) {
+	go p.producer()
+	go p.consumer()
+}
+
+// WGDeadlock is the Wait-then-close ordering bug: the waited goroutine's
+// deferred Done is stuck behind a gate only closed after Wait returns.
+func WGDeadlock() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	gate := make(chan int64)
+	go func() {
+		defer wg.Done()
+		<-gate // want `wait cycle`
+	}()
+	wg.Wait()
+	close(gate)
+}
+
+// WGOk is the idiomatic close-then-Wait: the gate close fires unimpeded,
+// so no release edge forms.
+func WGOk() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	gate := make(chan int64)
+	go func() {
+		defer wg.Done()
+		<-gate
+	}()
+	close(gate)
+	wg.Wait()
+}
+
+// --- Class 4: unbounded-block ---
+
+type looper struct {
+	jobs   chan int16
+	other  chan int16
+	quitCh chan struct{}
+}
+
+// run blocks a worker root with no way out: no quit case, no timer, no
+// default — a stopped pool strands it forever.
+func (l *looper) run() {
+	for {
+		select { // want `unbounded block`
+		case j := <-l.jobs:
+			_ = j
+		case <-l.other:
+		}
+	}
+}
+
+// runOK escapes through the session quit channel, the park shape.
+func (l *looper) runOK() {
+	for {
+		select {
+		case j := <-l.jobs:
+			_ = j
+		case <-l.quitCh:
+			return
+		}
+	}
+}
+
+// runTimer escapes through a runtime-signalled timer case.
+func (l *looper) runTimer() {
+	for {
+		select {
+		case <-l.jobs:
+		case <-time.After(time.Millisecond):
+			return
+		}
+	}
+}
+
+func (l *looper) runWaived() {
+	for {
+		//abp:wait-ignore demo looper torn down with the process; no shutdown path by design
+		select {
+		case <-l.jobs:
+		case <-l.other:
+		}
+	}
+}
+
+func StartLoopers(l *looper) {
+	go l.run()
+	go l.runOK()
+	go l.runTimer()
+	go l.runWaived()
+	go l.feedLoop()
+}
+
+// feedLoop signals every looper channel, keeping the selects above out of
+// naked-wait's reach; its sends block but sends are not modelled as waits.
+func (l *looper) feedLoop() {
+	l.jobs <- 1
+	l.other <- 1
+	close(l.quitCh)
+}
+
+// BlockUntilEither blocks with no escape, but only on the external root:
+// the blocking discipline of an exported entry point is the caller's
+// choice, exactly as Handle.Wait's contract says.
+func BlockUntilEither(l *looper) {
+	select {
+	case <-l.jobs:
+	case <-l.other:
+	}
+}

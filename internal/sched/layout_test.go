@@ -45,20 +45,21 @@ func TestWorkerLayoutPins(t *testing.T) {
 	}
 }
 
-// TestPoolLayoutPins asserts the three arbitration words — running's
-// session CAS, shardRR's per-submission Add, idle's park/signal reads —
-// each sit on their own line, clear of each other and of the shared
-// counters.
+// TestPoolLayoutPins asserts the four arbitration words — running's
+// session CAS, shardRR's per-submission Add, wakeRR's per-signal Add,
+// idle's park/signal reads — each sit on their own line, clear of each
+// other and of the shared counters.
 func TestPoolLayoutPins(t *testing.T) {
 	var p Pool
 	offs := map[string]uintptr{
 		"running": unsafe.Offsetof(p.running),
 		"shardRR": unsafe.Offsetof(p.shardRR),
+		"wakeRR":  unsafe.Offsetof(p.wakeRR),
 		"idle":    unsafe.Offsetof(p.idle),
 		"stopped": unsafe.Offsetof(p.stopped),
 		"dropped": unsafe.Offsetof(p.dropped),
 	}
-	for _, hot := range []string{"running", "shardRR", "idle"} {
+	for _, hot := range []string{"running", "shardRR", "wakeRR", "idle"} {
 		for name, off := range offs {
 			if name == hot {
 				continue

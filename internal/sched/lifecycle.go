@@ -227,12 +227,22 @@ func (w *Worker) park(d time.Duration) bool {
 // with a pending token is absorbed rather than lost: the send sits in a
 // select with default and can never block the producer.
 //
+// The scan starts at a rotating cursor rather than index zero: a fixed
+// start always wakes the lowest-indexed parked worker, so under a trickle
+// of submissions worker 0 absorbs every wake while the rest of the fleet
+// sleeps cold (stale deque affinity, cold stacks). Rotating spreads wakes
+// across the fleet; the cursor is a plain consumed Add like shardRR's,
+// with no fairness guarantee needed beyond breaking the fixed bias.
+//
 //abp:nonblocking
 func (p *Pool) signalWork() {
 	if p.idle.Load() == 0 {
 		return
 	}
-	for _, w := range p.workers {
+	n := len(p.workers)
+	start := int(p.wakeRR.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		w := p.workers[(start+i)%n]
 		if w.parked.Load() {
 			select {
 			case w.parkCh <- struct{}{}:

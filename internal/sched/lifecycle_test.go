@@ -214,6 +214,52 @@ func TestStatsString(t *testing.T) {
 	}
 }
 
+// signalWork used to scan the fleet from index zero on every call, so a
+// trickle of submissions — each arriving with the whole fleet parked —
+// woke worker 0 every single time while the rest slept cold. The rotating
+// cursor spreads wakes; this test submits one task per fully-parked
+// round and asserts the wakes land on (nearly) the whole fleet. The
+// tolerance of one worker absorbs timer-expiry races: a napping worker
+// whose timer fires just before the token arrives leaves the token to be
+// absorbed by its own next park rather than the rotation's choice.
+func TestSignalWorkWakeFairness(t *testing.T) {
+	const workers = 4
+	p := New(Config{Workers: workers, ParkThreshold: 2})
+	stop := startServing(t, p)
+	allParked := func() bool {
+		for _, w := range p.workers {
+			if !w.parked.Load() {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 0; round < 12*workers; round++ {
+		waitFor(t, 10*time.Second, "the whole fleet to park", allParked)
+		h, err := p.Submit(func(*Worker) {})
+		if err != nil {
+			t.Fatalf("round %d: Submit: %v", round, err)
+		}
+		if err := h.Wait(); err != nil {
+			t.Fatalf("round %d: Wait: %v", round, err)
+		}
+	}
+	woken := 0
+	for i, w := range p.workers {
+		if n := w.wakes.Load(); n > 0 {
+			woken++
+		} else {
+			t.Logf("worker %d: zero wakes", i)
+		}
+	}
+	if woken < workers-1 {
+		t.Fatalf("wakes landed on %d of %d workers: signalWork is scanning from a fixed start, not rotating", woken, workers)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("Serve returned nil after cancellation")
+	}
+}
+
 func TestParkThresholdValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

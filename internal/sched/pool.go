@@ -174,16 +174,18 @@ type Pool struct {
 	//
 	// Layout discipline (abplayout, DESIGN.md §12): the three arbitration
 	// words below — running's session CAS, shardRR's per-submission Add,
-	// idle's park/signal Dekker reads — each sit on their own cache line so
-	// none is invalidated by writes to the others or to the counters; the
-	// cold flags and the blindly incremented counters may share lines
-	// freely among themselves.
+	// wakeRR's per-signal Add, idle's park/signal Dekker reads — each sit
+	// on their own cache line so none is invalidated by writes to the
+	// others or to the counters; the cold flags and the blindly
+	// incremented counters may share lines freely among themselves.
 	stopped    atomicx.SCBool // session shutdown flag: the loop-exit condition
 	serving    atomicx.SCBool // a Serve is accepting Submits
 	_          atomicx.CacheLinePad
 	running    atomicx.SCBool // guards against concurrent Run/RunContext/Serve
 	_          atomicx.CacheLinePad
 	shardRR    atomicx.SCUint32 // submission shard rotation (injector.go)
+	_          atomicx.CacheLinePad
+	wakeRR     atomicx.SCUint32 // wake scan rotation (signalWork, lifecycle.go)
 	_          atomicx.CacheLinePad
 	idle       atomicx.SCInt32 // workers parked or in a backoff nap (lifecycle.go)
 	_          atomicx.CacheLinePad

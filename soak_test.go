@@ -2,7 +2,10 @@
 package worksteal
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"worksteal/internal/analysis"
 	"worksteal/internal/sched"
@@ -75,6 +78,96 @@ func TestSoakNativeLargeGraph(t *testing.T) {
 		if res.NodesExecuted != int64(g.NumNodes()) {
 			t.Fatalf("deque %d: executed %d of %d", kind, res.NodesExecuted, g.NumNodes())
 		}
+	}
+}
+
+// TestSoakServeParkWakeChurn drives a long-lived Serve session through
+// many burst/idle cycles: each idle gap is long enough for the whole
+// fleet to back off and park, so every burst must win the park/wake
+// Dekker handshake again from a cold start. This is the liveness property
+// abpwait checks statically — no submission may be lost to a parked or
+// napping fleet — exercised dynamically a few hundred times in one
+// session. Every handle completing is the whole assertion; the stats
+// checks only confirm the test really parked and woke workers rather
+// than catching the fleet hot.
+func TestSoakServeParkWakeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		workers = 8
+		rounds  = 300
+		burst   = 32
+	)
+	p := sched.New(sched.Config{Workers: workers, ParkThreshold: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(ctx) }()
+
+	// Serve accepts Submits only once its session is up; from outside the
+	// package that readiness is observable exactly as ErrNotServing
+	// turning into acceptance.
+	waitReady := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h, err := p.Submit(func(*sched.Worker) {})
+			if err == nil {
+				if werr := h.Wait(); werr != nil {
+					t.Fatalf("readiness probe: %v", werr)
+				}
+				return
+			}
+			if err != sched.ErrNotServing || time.Now().After(deadline) {
+				t.Fatalf("pool never became ready: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitReady()
+
+	var ran atomic.Int64
+	handles := make([]*sched.Handle, 0, burst)
+	for round := 0; round < rounds; round++ {
+		handles = handles[:0]
+		for i := 0; i < burst; i++ {
+			h, err := p.Submit(func(w *sched.Worker) {
+				// A little fan-out so the burst spreads across the fleet
+				// and the non-submitting workers have something to steal.
+				for j := 0; j < 4; j++ {
+					w.Spawn(func(*sched.Worker) { ran.Add(1) })
+				}
+				ran.Add(1)
+			})
+			if err != nil {
+				t.Fatalf("round %d: Submit: %v", round, err)
+			}
+			handles = append(handles, h)
+		}
+		for _, h := range handles {
+			if err := h.Wait(); err != nil {
+				t.Fatalf("round %d: Wait: %v", round, err)
+			}
+		}
+		if round%3 == 0 {
+			// Longer than the full backoff ladder: the fleet ends the gap
+			// parked, and the next burst starts from a cold handshake.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-serveErr; err == nil {
+		t.Fatal("Serve returned nil after cancellation")
+	}
+
+	if got, want := ran.Load(), int64(rounds*burst*5); got != want {
+		t.Fatalf("ran %d of %d tasks across the churn", got, want)
+	}
+	s := p.Stats()
+	if s.Parks == 0 || s.Wakes == 0 {
+		t.Fatalf("parks=%d wakes=%d: the fleet never actually churned through park/wake", s.Parks, s.Wakes)
+	}
+	if s.TasksDropped != 0 {
+		t.Fatalf("%d tasks dropped during a clean churn run", s.TasksDropped)
 	}
 }
 
