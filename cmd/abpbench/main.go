@@ -16,6 +16,8 @@
 //	abpbench -experiment submit -out BENCH_submit.json
 //	abpbench -experiment hotpath
 //	abpbench -experiment hotpath -check BENCH_hotpath.json
+//	abpbench -experiment elastic
+//	abpbench -experiment elastic -check BENCH_elastic.json
 package main
 
 import (
@@ -34,13 +36,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos|submit|hotpath")
+		exp      = flag.String("experiment", "speedup", "speedup|multiprogram|ablation|tasks|contention|idle|chaos|submit|hotpath|elastic")
 		nodeWork = flag.Int("nodework", 2000, "synthetic work per dag node (spin iterations)")
 		reps     = flag.Int("reps", 3, "repetitions per configuration (best time kept)")
 		stats    = flag.Bool("stats", false, "print the scheduler counter table (parks, wakes, backoff, ...) after pool experiments")
 		faults   = flag.String("faults", "", "fault spec to arm for -experiment chaos (default: the ABP_FAULTS environment variable)")
-		out      = flag.String("out", "", "JSON snapshot path (default BENCH_<experiment>.json) for -experiment submit|hotpath")
-		check    = flag.String("check", "", "baseline BENCH_hotpath.json to gate -experiment hotpath against (exit 1 if push/pop ns/op regresses >10%)")
+		out      = flag.String("out", "", "JSON snapshot path (default BENCH_<experiment>.json) for -experiment submit|hotpath|elastic")
+		check    = flag.String("check", "", "baseline BENCH_<experiment>.json to gate -experiment hotpath|elastic against (exit 1 on a >10% regression)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,8 @@ func main() {
 		submitExperiment(*nodeWork, *reps, *out, *stats)
 	case "hotpath":
 		hotpathExperiment(*nodeWork, *reps, *out, *check)
+	case "elastic":
+		elasticExperiment(*nodeWork, *reps, *out, *check)
 	default:
 		fmt.Fprintf(os.Stderr, "abpbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -9,9 +9,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -527,6 +530,160 @@ func BenchmarkChaosSuspendedWorkers(b *testing.B) {
 				fault.Disable(fpLoopBeforeSteal)
 			}
 			b.ReportMetric(tasks, "tasks/op")
+		})
+	}
+}
+
+// The watchdog must treat a retiring worker like a parked one: a worker
+// frozen by the kernel adversary at the retire safe point is not a stall
+// of the serving fleet. The test suspends a worker mid-retirement for
+// several full watchdog windows and asserts OnStall never fires.
+func TestWatchdogExemptsRetiringWorker(t *testing.T) {
+	defer fault.Reset()
+	var stalls atomic.Int64
+	p := New(Config{Workers: 2, ParkThreshold: 2, StallTimeout: 40 * time.Millisecond,
+		OnStall: func(StallReport) { stalls.Add(1) }})
+	stop := startServing(t, p)
+	fault.Enable("sched.resize.beforeRetire", fault.Rule{Action: fault.ActionSuspend, OneShot: true})
+	if err := p.Resize(1); err != nil {
+		t.Fatalf("Resize(1): %v", err)
+	}
+	waitFor(t, 10*time.Second, "the retiring worker to freeze at the safe point", func() bool {
+		return fault.Suspended("sched.resize.beforeRetire") == 1
+	})
+	// Several full windows with the worker motionless mid-retire. Worker 0
+	// is parked (exempt); the frozen worker must be exempt too.
+	time.Sleep(200 * time.Millisecond)
+	if got := stalls.Load(); got != 0 {
+		t.Fatalf("OnStall fired %d times for a worker suspended at the retire safe point", got)
+	}
+	fault.Resume("sched.resize.beforeRetire")
+	waitFor(t, 10*time.Second, "retirement to complete after resume", func() bool {
+		return p.Stats().WorkersRetired == 1
+	})
+	if err := stop(); err == nil {
+		t.Fatal("Serve returned nil after cancellation")
+	}
+}
+
+// TestChaosKernelAdversary is the issue's headline property: an
+// adversarial kernel that suspends workers at scheduler instruction
+// boundaries AND grows/shrinks the granted processor set at random —
+// exactly the paper's P_A(t) model made hostile — while an open stream of
+// submissions flows in. Every submission must complete exactly once (its
+// private counter reads exactly root+3), no Handle may wedge, and nothing
+// may be dropped. Runs against both non-blocking deques.
+func TestChaosKernelAdversary(t *testing.T) {
+	points := []string{
+		"sched.resize.beforeRetire",
+		"sched.resize.beforeHandoff",
+		"sched.loop.beforeSteal",
+		"sched.park.beforeSleep",
+	}
+	for _, tc := range []struct {
+		name string
+		kind DequeKind
+	}{
+		{"ABP", DequeABP},
+		{"ChaseLev", DequeChaseLev},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer fault.Reset()
+			const (
+				maxW       = 8
+				submitters = 3
+				perSub     = 400
+			)
+			p := New(Config{Workers: maxW / 2, MaxWorkers: maxW, ParkThreshold: 2, Deque: tc.kind})
+			stop := startServing(t, p)
+
+			// The adversary: a random walk over fleet sizes interleaved with
+			// bounded suspensions at the retire and idle safe points. Every
+			// armed window is resumed and disarmed before the next, so the
+			// adversary is hostile but finite — the paper's kernel, which may
+			// do anything except stop the clock forever.
+			advStop := make(chan struct{})
+			advDone := make(chan struct{})
+			go func() {
+				defer close(advDone)
+				rng := rand.New(rand.NewSource(0xADBE))
+				for i := 0; ; i++ {
+					select {
+					case <-advStop:
+						return
+					default:
+					}
+					if err := p.Resize(1 + rng.Intn(maxW)); err != nil {
+						t.Errorf("adversary Resize: %v", err)
+						return
+					}
+					pt := points[rng.Intn(len(points))]
+					fault.Enable(pt, fault.Rule{Action: fault.ActionSuspend, Times: 1 + rng.Intn(2)})
+					time.Sleep(time.Duration(200+rng.Intn(1800)) * time.Microsecond)
+					fault.Resume(pt)
+					fault.Disable(pt)
+				}
+			}()
+
+			var completed atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(submitters)
+			for s := 0; s < submitters; s++ {
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < perSub; i++ {
+						var n atomic.Int64
+						h, err := p.SubmitWithRetry(context.Background(), func(w *Worker) {
+							for j := 0; j < 3; j++ {
+								w.Spawn(func(*Worker) { chaosSpin(50); n.Add(1) })
+							}
+							n.Add(1)
+						}, RetryPolicy{MaxAttempts: 50, Seed: int64(s + 1)})
+						if err != nil {
+							t.Errorf("submitter %d: submission %d: %v", s, i, err)
+							return
+						}
+						if err := h.Wait(); err != nil {
+							t.Errorf("submitter %d: submission %d: Wait = %v", s, i, err)
+							return
+						}
+						if got := n.Load(); got != 4 {
+							t.Errorf("submitter %d: submission %d ran %d of its 4 tasks (lost or doubled work)", s, i, got)
+							return
+						}
+						completed.Add(1)
+					}
+				}(s)
+			}
+
+			// A wedged Handle.Wait shows up here as the global timeout.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				fault.Reset()
+				t.Fatalf("wedged: only %d of %d submissions completed under the kernel adversary",
+					completed.Load(), submitters*perSub)
+			}
+			close(advStop)
+			<-advDone
+			fault.Reset()
+
+			if got := completed.Load(); got != submitters*perSub {
+				t.Fatalf("completed %d of %d submissions", got, submitters*perSub)
+			}
+			s := p.Stats()
+			if s.TasksDropped != 0 {
+				t.Fatalf("%d tasks dropped under the adversary", s.TasksDropped)
+			}
+			if s.Resizes == 0 || s.WorkersRetired == 0 {
+				t.Fatalf("the adversary never actually exercised the elastic fleet: resizes=%d retired=%d",
+					s.Resizes, s.WorkersRetired)
+			}
+			if err := stop(); err == nil {
+				t.Fatal("Serve returned nil after cancellation")
+			}
 		})
 	}
 }

@@ -1,0 +1,95 @@
+// Graceful drain: stop accepting, finish everything accepted, then stop
+// the fleet (DESIGN.md §14).
+//
+// Serve's context cancellation is an abort: every in-flight submission
+// completes with ErrStopped and its unexecuted tasks are discarded. A
+// production service wants the other shutdown too — the load balancer
+// stops sending, accepted requests finish, then the fleet comes down.
+// Pool.Drain(ctx) is that path, a three-step state machine:
+//
+//  1. Close admission: the draining flag flips (CAS — one Drain wins per
+//     session) and Submit starts returning ErrDraining.
+//  2. Wait for the accepted set to empty: the active-run registry shrinks
+//     as submissions complete; the unregister that empties it while
+//     draining closes drainIdle. ctx bounds the wait — on expiry Drain
+//     proceeds immediately and the leftover submissions meet step 3's
+//     abort sweep instead, completing with ErrStopped exactly as a
+//     cancelled Serve would leave them.
+//  3. Stop the fleet: closing drainReq wakes Serve's select; Serve runs
+//     its normal teardown (the abort sweep is a no-op on the happy path —
+//     the set is already empty) and returns nil, distinguishing a
+//     completed drain from a cancellation. The pool is reusable: the next
+//     Serve resets the drain state like every other session field.
+//
+// The no-lost-submission argument is a Dekker pairing over the SC draining
+// flag and the runMu-guarded registry. Submit orders gate-load(draining) →
+// register → push → re-load(draining); Drain orders store(draining) →
+// read(registry). If Submit's re-load still sees no drain, the store
+// hadn't happened, so Drain's registry read is after this run's register
+// and waits for it. If the re-load sees the drain, Submit can't know
+// whether Drain's snapshot caught the run, so it self-aborts and reports
+// ErrDraining — the submission counts as rejected, never as an accepted
+// handle that later fails. Either way, every Submit that returned a
+// handle and nil error before Drain began is completed, not aborted.
+package sched
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrDraining reports a Submit on a pool whose Drain is in flight (or a
+// second concurrent Drain): admission is closed, the submission was not
+// enqueued and will never run.
+var ErrDraining = errors.New("sched: pool is draining: submission rejected")
+
+// Drain gracefully stops the serving session: admission closes first
+// (Submit returns ErrDraining), every submission accepted before the drain
+// runs to completion, and then the fleet stops — Serve returns nil. The
+// wait for completion is bounded by ctx: on expiry Drain stops the fleet
+// anyway and the submissions still in flight abort with ErrStopped (their
+// Handles complete either way), exactly the sweep a cancelled Serve runs.
+// Drain returns nil if everything accepted completed, ctx.Err() on a
+// deadline fallback, ErrNotServing when no Serve is up, and ErrDraining if
+// it lost the race to a concurrent Drain. It returns once the fleet stop
+// is signalled; join the Serve goroutine itself to observe full teardown,
+// after which the pool is reusable (Serve restarts cleanly).
+func (p *Pool) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !p.serving.Load() {
+		return ErrNotServing
+	}
+	if !p.draining.CompareAndSwap(false, true) {
+		return ErrDraining
+	}
+	// Admission is closed. Snapshot this session's channels and settle the
+	// already-idle case under the registry lock: if nothing is in flight,
+	// the drain is trivially complete — and because the flag was stored
+	// before this look, any submission the look misses will see the flag
+	// on its post-push re-check and self-reject (the package comment's
+	// Dekker pairing).
+	p.runMu.Lock()
+	req, idle, quit := p.drainReq, p.drainIdle, p.quitCh
+	if len(p.active) == 0 && !p.drainSignaled {
+		p.drainSignaled = true
+		close(idle)
+	}
+	p.runMu.Unlock()
+
+	var err error
+	select {
+	case <-idle:
+		// Every accepted submission completed.
+	case <-ctx.Done():
+		// Deadline: fall back to the abort sweep — Serve's teardown below
+		// completes the stragglers with ErrStopped.
+		err = ctx.Err()
+	}
+	close(req)
+	// Wait for the session to acknowledge (endSession closes quit as the
+	// workers are told to stop); the fleet stop is then underway.
+	<-quit
+	return err
+}

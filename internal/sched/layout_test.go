@@ -43,6 +43,13 @@ func TestWorkerLayoutPins(t *testing.T) {
 	if layoutLine(parked) == layoutLine(progress) || layoutLine(parked) == layoutLine(tasksRun) {
 		t.Errorf("parked (offset %d) shares a line with the owner counters (progress %d, tasksRun %d)", parked, progress, tasksRun)
 	}
+	// state is the fleet-membership word Resize CASes against the worker's
+	// own retire CAS — an arbitration word like parked, and like parked it
+	// must not share a line with the wake flag or the owner counters.
+	state := unsafe.Offsetof(w.state)
+	if layoutLine(state) == layoutLine(parked) || layoutLine(state) == layoutLine(progress) {
+		t.Errorf("state (offset %d) shares a line with parked (%d) or progress (%d)", state, parked, progress)
+	}
 }
 
 // TestPoolLayoutPins asserts the four arbitration words — running's
@@ -52,14 +59,16 @@ func TestWorkerLayoutPins(t *testing.T) {
 func TestPoolLayoutPins(t *testing.T) {
 	var p Pool
 	offs := map[string]uintptr{
-		"running": unsafe.Offsetof(p.running),
-		"shardRR": unsafe.Offsetof(p.shardRR),
-		"wakeRR":  unsafe.Offsetof(p.wakeRR),
-		"idle":    unsafe.Offsetof(p.idle),
-		"stopped": unsafe.Offsetof(p.stopped),
-		"dropped": unsafe.Offsetof(p.dropped),
+		"running":  unsafe.Offsetof(p.running),
+		"shardRR":  unsafe.Offsetof(p.shardRR),
+		"wakeRR":   unsafe.Offsetof(p.wakeRR),
+		"idle":     unsafe.Offsetof(p.idle),
+		"stopped":  unsafe.Offsetof(p.stopped),
+		"dropped":  unsafe.Offsetof(p.dropped),
+		"draining": unsafe.Offsetof(p.draining),
+		"fleet":    unsafe.Offsetof(p.fleet),
 	}
-	for _, hot := range []string{"running", "shardRR", "wakeRR", "idle"} {
+	for _, hot := range []string{"running", "shardRR", "wakeRR", "idle", "draining", "fleet"} {
 		for name, off := range offs {
 			if name == hot {
 				continue

@@ -86,6 +86,7 @@ func (w *Worker) loop() {
 	// Root fallback from startSession. execOrDrop keeps an aborted session's
 	// root (e.g. a pre-cancelled RunContext) from executing into a dead
 	// run: it is discarded and counted instead.
+	//abp:race-ignore startSession writes handoff before forking the fleet manager, and the manager forks every mid-session loop: the composed fork edges (Go MM transitivity) order the write before this read; the analyzer does not chase nested fork chains
 	if t := w.handoff.Get(); t != nil {
 		w.handoff.Set(nil)
 		w.execOrDrop(t)
@@ -93,6 +94,14 @@ func (w *Worker) loop() {
 	fails := 0
 	ticks := 0
 	for !w.pool.stopped.Load() {
+		// The shrink safe point (resize.go): a worker marked retiring
+		// re-publishes its deque through the injector and exits — unless a
+		// concurrent grow reactivated it, in which case retire reports
+		// false and the loop carries on. Checked every iteration, so a
+		// retiring worker never parks without first noticing the mark.
+		if w.state.Load() == workerRetiring && w.retire() {
+			return
+		}
 		w.progress.AddOwner(w.relaxed, 1)
 		ticks++
 		var t *Task
@@ -196,7 +205,9 @@ func (w *Worker) park(d time.Duration) bool {
 			w.wakes.Add(1)
 			woke = true
 		case <-timer.C:
-		case <-p.quitCh: // session shutdown: don't sleep out the nap
+		// Session shutdown: don't sleep out the nap.
+		//abp:race-ignore quitCh is written in startSession before the fleet manager fork, and every mid-session loop is forked by the manager: the composed fork edges order the write before this read; the analyzer does not chase nested fork chains
+		case <-p.quitCh:
 		}
 		timer.Stop()
 		w.backoffNanos.Add(int64(time.Since(start)))
@@ -243,7 +254,13 @@ func (p *Pool) signalWork() {
 	start := int(p.wakeRR.Add(1)-1) % n
 	for i := 0; i < n; i++ {
 		w := p.workers[(start+i)%n]
-		if w.parked.Load() {
+		// Only active workers are wake targets: a token delivered to a
+		// parked-but-retiring worker could be consumed by a wake that ends
+		// in retirement rather than work — a lost wakeup for the rest of
+		// the (still-parked) fleet. Retiring workers are woken by Resize
+		// itself, and a completed retire passes any absorbed signal on
+		// (retire's final signalWork in resize.go).
+		if w.state.Load() == workerActive && w.parked.Load() {
 			select {
 			case w.parkCh <- struct{}{}:
 			default:

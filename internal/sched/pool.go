@@ -77,6 +77,12 @@ type Config struct {
 	// Workers is the number of worker goroutines (the paper's P processes).
 	// Defaults to runtime.GOMAXPROCS(0).
 	Workers int
+	// MaxWorkers caps Pool.Resize growth (resize.go): worker structures —
+	// deque, rng, park channel — are pre-allocated up to this bound at New
+	// time, so a mid-Serve grow only has to start a goroutine. Slots in
+	// [Workers, MaxWorkers) begin retired. 0 defaults to Workers (a fixed
+	// fleet, exactly the pre-elastic behavior); values below Workers panic.
+	MaxWorkers int
 	// Deque selects the deque implementation (default DequeABP).
 	Deque DequeKind
 	// DequeCapacity bounds each worker's deque; when a push finds the deque
@@ -178,24 +184,51 @@ type Pool struct {
 	// on their own cache line so none is invalidated by writes to the
 	// others or to the counters; the cold flags and the blindly
 	// incremented counters may share lines freely among themselves.
-	stopped    atomicx.SCBool // session shutdown flag: the loop-exit condition
-	serving    atomicx.SCBool // a Serve is accepting Submits
-	_          atomicx.CacheLinePad
-	running    atomicx.SCBool // guards against concurrent Run/RunContext/Serve
-	_          atomicx.CacheLinePad
-	shardRR    atomicx.SCUint32 // submission shard rotation (injector.go)
-	_          atomicx.CacheLinePad
-	wakeRR     atomicx.SCUint32 // wake scan rotation (signalWork, lifecycle.go)
-	_          atomicx.CacheLinePad
-	idle       atomicx.SCInt32 // workers parked or in a backoff nap (lifecycle.go)
+	stopped atomicx.SCBool // session shutdown flag: the loop-exit condition
+	serving atomicx.SCBool // a Serve is accepting Submits
+	_       atomicx.CacheLinePad
+	// draining is the admission gate a Drain closes (drain.go); sc because
+	// it is Dekker-paired with Submit's post-push re-check, and CAS'd (one
+	// Drain wins per session) — an arbitration word, so its own line.
+	draining atomicx.SCBool
+	_        atomicx.CacheLinePad
+	running  atomicx.SCBool // guards against concurrent Run/RunContext/Serve
+	_        atomicx.CacheLinePad
+	shardRR  atomicx.SCUint32 // submission shard rotation (injector.go)
+	_        atomicx.CacheLinePad
+	wakeRR   atomicx.SCUint32 // wake scan rotation (signalWork, lifecycle.go)
+	_        atomicx.CacheLinePad
+	idle     atomicx.SCInt32 // workers parked or in a backoff nap (lifecycle.go)
+	_        atomicx.CacheLinePad
+	// fleet is the elastic-fleet size: workers [0, fleet) are the active
+	// prefix victim selection draws from (stealOnce). Written rarely — by
+	// Resize under resizeMu — and read on every steal attempt, so it gets
+	// its own line away from the mutated arbitration words and counters.
+	// publish: readers only gate victim ranges on the value; the per-worker
+	// state words (CAS'd, sc) carry the retire arbitration.
+	fleet      atomicx.Publish32
 	_          atomicx.CacheLinePad
 	dropped    atomicx.Publish64 // tasks discarded after a panic-aborted submission
 	cancelledN atomicx.Publish64 // tasks discarded by a cancelled/stopped submission
 	stalls     atomicx.Publish64 // stall episodes surfaced by the watchdog
+	resizes    atomicx.Publish64 // Resize calls that changed the fleet target
+	retiredN   atomicx.Publish64 // workers that completed retirement (resize.go)
 	submitted  atomicx.SCInt64   // submissions accepted onto the injector
 	rejected   atomicx.SCInt64   // submissions rejected with ErrOverloaded
 	callerRuns atomicx.SCInt64   // submissions shed to the caller (ShedCallerRuns)
 	wg         sync.WaitGroup
+
+	// Elastic-fleet control (resize.go): resizeMu serializes Resize calls
+	// against each other and against session start/stop; sessionLive tells
+	// Resize whether the session's fleet manager exists right now. growCh
+	// feeds worker-slot activations to the manager goroutine startSession
+	// forks — worker loops are only ever launched from startSession's
+	// subtree, which keeps the session fork edge the single publication
+	// root for the workers' plain fields. All three are accessed under
+	// resizeMu (the manager holds only its own local copies).
+	resizeMu    sync.Mutex
+	sessionLive bool
+	growCh      chan int
 
 	// Active-submission registry: every in-flight run, registered at
 	// submission and removed by its finishOnce. The shutdown and
@@ -211,6 +244,17 @@ type Pool struct {
 	failCh   chan struct{}
 	failOnce sync.Once
 	failVal  any
+
+	// Graceful-drain plumbing (drain.go), per session like quitCh/failCh.
+	// All three fields are written by startSession and read by Drain under
+	// runMu (the mutex is the happens-before edge for the external Drain
+	// goroutine). drainReq is closed by the winning Drain to bring Serve
+	// down; drainIdle is closed — by unregister or by Drain itself — when
+	// the active set empties while draining; drainSignaled guards that
+	// close.
+	drainReq      chan struct{}
+	drainIdle     chan struct{}
+	drainSignaled bool
 }
 
 // Worker is the execution context passed to every task; it identifies the
@@ -223,9 +267,11 @@ type Worker struct {
 	rr   int // round-robin victim cursor; reset each session (determinism)
 	// handoff is the root task fallback slot (startSession), consumed by
 	// loop; declared plain because every access pair is ordered by the
-	// session fork/join edges (the abporder cat-6 proof).
-	handoff atomicx.PlainPointer[Task]
-	run     *run // submission of the task currently executing (exec)
+	// session fork/join edges — for loops the fleet manager forks
+	// mid-session, by the composed startSession→manager→loop fork chain
+	// the static analyses do not chase (hence the waiver).
+	handoff atomicx.PlainPointer[Task] //abp:order-ignore ordered by the composed startSession->fleetManager->loop fork edges; the analyzer does not chase nested fork chains
+	run     *run                       // submission of the task currently executing (exec)
 	// relaxed mirrors Config.RelaxedAtomics: gates the owner-side counter
 	// downgrades (AddOwner below). Written once in New, before any sharing.
 	relaxed bool
@@ -241,6 +287,17 @@ type Worker struct {
 	_      atomicx.CacheLinePad
 	parked atomicx.SCBool
 	_      atomicx.CacheLinePad
+
+	// state is the elastic-fleet membership word (resize.go):
+	// workerActive / workerRetiring / workerRetired. Every producer's
+	// signalWork scans it right next to parked, and Resize and the retiring
+	// worker arbitrate retirement on it by CAS (retire vs reactivate), so —
+	// like parked — it sits on its own cache line, clear of both the
+	// pool-scanned flag above and the owner-hot counters below. sc: the CAS
+	// arbitration and the reads inside the signalWork handshake carrier
+	// both need full ordering.
+	state atomicx.SCInt32
+	_     atomicx.CacheLinePad
 
 	// progress ticks on every loop iteration and task completion; the
 	// stall watchdog (watchdog.go) reads it to tell a live worker from one
@@ -283,6 +340,12 @@ func New(cfg Config) *Pool {
 	if cfg.ParkThreshold < 0 {
 		panic(fmt.Sprintf("sched: park threshold %d", cfg.ParkThreshold))
 	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = cfg.Workers
+	}
+	if cfg.MaxWorkers < cfg.Workers {
+		panic(fmt.Sprintf("sched: MaxWorkers %d below Workers %d", cfg.MaxWorkers, cfg.Workers))
+	}
 	if cfg.InjectorShards == 0 {
 		cfg.InjectorShards = max(1, min(8, cfg.Workers/4))
 	}
@@ -306,7 +369,10 @@ func New(cfg Config) *Pool {
 	for i := 0; i < cfg.InjectorShards; i++ {
 		p.inject = append(p.inject, newInjector(cfg.InjectorCapacity))
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	// The whole [0, MaxWorkers) fleet is allocated up front; slots beyond
+	// the initial Workers begin retired and cost nothing until a Resize
+	// activates them.
+	for i := 0; i < cfg.MaxWorkers; i++ {
 		var dq deque.Dequer[Task]
 		switch cfg.Deque {
 		case DequeMutex:
@@ -320,15 +386,20 @@ func New(cfg Config) *Pool {
 			abp.SetRelaxed(cfg.RelaxedAtomics)
 			dq = abp
 		}
-		p.workers = append(p.workers, &Worker{
+		w := &Worker{
 			pool:    p,
 			id:      i,
 			dq:      dq,
 			rng:     rand.New(rand.NewSource(seed + int64(i)*1_000_003)),
 			parkCh:  make(chan struct{}, 1),
 			relaxed: cfg.RelaxedAtomics,
-		})
+		}
+		if i >= cfg.Workers {
+			w.state.Store(workerRetired)
+		}
+		p.workers = append(p.workers, w)
 	}
+	p.fleet.Store(int32(cfg.Workers))
 	return p
 }
 
@@ -455,17 +526,35 @@ func (p *Pool) RunContext(ctx context.Context, root func(*Worker)) error {
 //abp:owner quiescent phase: workers have not been started yet
 func (p *Pool) startSession(root *Task) {
 	p.stopped.Store(false)
+	// The session channels — quit/fail and the drain pair — are read by
+	// goroutines outside the session's fork edges (Drain most of all), so
+	// they are published under runMu, the lock those readers take.
+	p.runMu.Lock()
 	p.quitCh = make(chan struct{})
+	//abp:race-ignore written before the fleet-manager fork below, which forks every mid-session loop: the composed fork edges order this write before any worker read; the analyzer does not chase nested fork chains
 	p.failCh = make(chan struct{})
+	p.drainReq = make(chan struct{})
+	p.drainIdle = make(chan struct{})
+	p.drainSignaled = false
+	p.runMu.Unlock()
 	p.failOnce = sync.Once{}
+	//abp:race-ignore written before the fleet-manager fork below, which forks every mid-session loop: the composed fork edges order this write before any worker access; the analyzer does not chase nested fork chains
 	p.failVal = nil
+	p.draining.Store(false)
 	// Sweep carcasses a previous aborted session left behind (including a
 	// root stranded in a handoff slot, which must not execute as a ghost
 	// of the session that submitted it), accounted per each task's own
 	// submission: a panic's leftovers are drops, a cancelled or stopped
 	// submission's are cancellations.
 	p.drainByRun()
+	// Reset the rotation cursors along with the per-worker ones: a restarted
+	// Serve must behave like a fresh pool, not inherit the previous
+	// session's submission-shard and wake-scan positions (the Serve→Stop→
+	// Serve restartability regression pins this).
+	p.shardRR.Store(0)
+	p.wakeRR.Store(0)
 	for _, w := range p.workers {
+		//abp:race-ignore written before the fleet-manager fork below, which forks every mid-session loop: the composed fork edges order this write before the owning worker's accesses; the analyzer does not chase nested fork chains
 		w.rr = 0
 	}
 	if root != nil {
@@ -473,16 +562,48 @@ func (p *Pool) startSession(root *Task) {
 			p.workers[0].handoff.Set(root)
 		}
 	}
-	p.wg.Add(len(p.workers))
-	for _, w := range p.workers {
+	// Fork exactly the active prefix, normalizing the state words first: a
+	// shrink in a previous session (or between sessions) may have left
+	// suffix workers marked retiring without ever completing retirement —
+	// their goroutines exited through the stopped flag instead. resizeMu
+	// orders this against any concurrent Resize, and sessionLive re-arms
+	// Resize's ability to start goroutines.
+	p.resizeMu.Lock()
+	fleet := int(p.fleet.Load())
+	for i, w := range p.workers {
+		if i < fleet {
+			w.state.Store(workerActive)
+		} else {
+			w.state.Store(workerRetired)
+		}
+	}
+	p.growCh = make(chan int)
+	p.wg.Add(fleet + 1) // +1: the fleet manager holds a slot of its own
+	for _, w := range p.workers[:fleet] {
 		go w.loop()
 	}
+	// The fleet manager is the only place a worker loop is ever launched
+	// mid-session (Resize feeds it slot indices over growCh). Keeping every
+	// launch inside startSession's fork subtree preserves the lexical fork
+	// edge that orders this function's plain writes before any worker
+	// goroutine — including ones started long after, by a grow.
+	go p.fleetManager(p.quitCh, p.growCh)
+	p.sessionLive = true
+	p.resizeMu.Unlock()
 }
 
 // endSession stops the worker loops and waits for them: stopped is the
 // loop-exit condition, and the quit close wakes every parked or napping
 // worker so none sleeps through shutdown.
 func (p *Pool) endSession() {
+	// Disarm Resize before waiting: once sessionLive drops, Resize no
+	// longer feeds the fleet manager, and the manager itself holds a
+	// WaitGroup slot until the quit close below retires it — so its
+	// wg.Add(1) per grow can never race a Wait at zero (the classic
+	// Add-after-Wait hazard).
+	p.resizeMu.Lock()
+	p.sessionLive = false
+	p.resizeMu.Unlock()
 	p.stopped.Store(true)
 	close(p.quitCh)
 	p.wg.Wait()
@@ -545,12 +666,17 @@ func (p *Pool) Stats() Stats {
 		TasksDropped:     p.dropped.Load(),
 		TasksCancelled:   p.cancelledN.Load(),
 		StallsDetected:   p.stalls.Load(),
+		Resizes:          p.resizes.Load(),
+		WorkersRetired:   p.retiredN.Load(),
 		Submitted:        p.submitted.Load(),
 		SubmitsRejected:  p.rejected.Load(),
 		SubmitsCallerRun: p.callerRuns.Load(),
 		InjectorBacklog:  p.injectorBacklog(),
 	}
 	for _, w := range p.workers {
+		if w.state.Load() == workerActive {
+			s.ActiveWorkers++
+		}
 		s.TasksRun += w.tasksRun.Load()
 		s.Spawns += w.spawns.Load()
 		s.InlineRuns += w.inlineRuns.Load()
@@ -582,18 +708,28 @@ func (p *Pool) injectorBacklog() int64 {
 //abp:owner steal counters belong to the stealing worker's own goroutine
 //abp:nonblocking
 func (w *Worker) stealOnce() *Task {
-	n := len(w.pool.workers)
-	if n == 1 {
+	// Victims are drawn from the active prefix [0, fleet): a retired slot's
+	// deque is empty by the retire protocol, so aiming steals at it would
+	// only waste attempts. A worker outside the prefix — retiring, or mid-
+	// shrink — steals from all fleet actives; an active worker excludes
+	// itself. The read races Resize harmlessly: a stale fleet at worst aims
+	// one steal at an emptying (or freshly re-activated) deque.
+	n := int(w.pool.fleet.Load())
+	pick := n
+	if w.id < n {
+		pick = n - 1
+	}
+	if pick == 0 {
 		return nil
 	}
 	var v int
 	if w.pool.cfg.RoundRobinVictim {
 		w.rr++
-		v = w.rr % (n - 1)
+		v = w.rr % pick
 	} else {
-		v = w.rng.Intn(n - 1)
+		v = w.rng.Intn(pick)
 	}
-	if v >= w.id {
+	if w.id < n && v >= w.id {
 		v++
 	}
 	w.stealAttempts.AddOwner(w.relaxed, 1)

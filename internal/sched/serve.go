@@ -197,7 +197,9 @@ func (h *Handle) Err() error {
 // flight are aborted with ErrStopped (their Handles complete; tasks
 // already executing finish, tasks never started are discarded and counted
 // in Stats.TasksCancelled), the workers shut down, and Serve returns
-// ctx.Err(). If a worker loop itself fails (a panic outside any task,
+// ctx.Err(). After a completed Pool.Drain (drain.go) Serve instead
+// returns nil — the graceful shutdown — and the pool may Serve again.
+// If a worker loop itself fails (a panic outside any task,
 // e.g. an injected fault), every in-flight submission aborts with the
 // panic value and Serve re-panics with it, mirroring Run.
 //
@@ -212,6 +214,11 @@ func (p *Pool) Serve(ctx context.Context) error {
 	}
 	defer p.running.Store(false)
 	p.startSession(nil)
+	// This session's drain-request channel (drain.go), read under the same
+	// lock startSession published it under.
+	p.runMu.Lock()
+	drainReq := p.drainReq
+	p.runMu.Unlock()
 
 	stopAux := make(chan struct{})
 	var aux sync.WaitGroup
@@ -228,8 +235,15 @@ func (p *Pool) Serve(ctx context.Context) error {
 	p.serving.Store(true)
 
 	var failVal any
+	drained := false
 	select {
 	case <-ctx.Done():
+	case <-drainReq:
+		// A completed Drain (drain.go): admission is already closed and —
+		// unless the drain's deadline expired first — every accepted
+		// submission has completed, so the abort sweep below is a no-op on
+		// the happy path and exactly the ErrStopped fallback on expiry.
+		drained = true
 	case <-p.failCh:
 		// A worker loop died. failVal is safe to read after the channel
 		// close (engineFail writes it first).
@@ -255,6 +269,9 @@ func (p *Pool) Serve(ctx context.Context) error {
 	p.drainByRun()
 	if failVal != nil {
 		panic(failVal)
+	}
+	if drained {
+		return nil
 	}
 	return ctx.Err()
 }
@@ -286,6 +303,9 @@ func (p *Pool) SubmitContext(ctx context.Context, fn func(*Worker)) (*Handle, er
 	if !p.serving.Load() {
 		return nil, ErrNotServing
 	}
+	if p.draining.Load() {
+		return nil, ErrDraining
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -314,6 +334,19 @@ func (p *Pool) SubmitContext(ctx context.Context, fn func(*Worker)) (*Handle, er
 	}
 	p.submitted.Add(1)
 	p.signalWork()
+	if p.draining.Load() {
+		// A Drain closed admission between the gate above and the push.
+		// Its registry snapshot may or may not have seen this run, so the
+		// submission must not stand: abort it and report a rejection —
+		// never an accepted handle a drain then fails. (If the re-check
+		// instead finds no drain, the sc flag order guarantees the drain's
+		// snapshot runs after our register and waits for us; see drain.go.)
+		// The task carcass is discarded, and counted, at pop or drain time.
+		r.abortWith(runCancelled, ErrDraining, nil)
+		p.submitted.Add(-1)
+		p.rejected.Add(1)
+		return nil, ErrDraining
+	}
 	if !p.serving.Load() {
 		// The pool stopped serving between the check above and the push:
 		// the shutdown sweep may have missed this run. Abort it so its
@@ -356,10 +389,16 @@ func (p *Pool) register(r *run) {
 	p.runMu.Unlock()
 }
 
-// unregister removes a finished run. Called from finishOnce only.
+// unregister removes a finished run. Called from finishOnce only. The
+// completion that empties the registry while a drain is waiting closes
+// the session's drainIdle channel (drain.go), exactly once.
 func (p *Pool) unregister(r *run) {
 	p.runMu.Lock()
 	delete(p.active, r)
+	if len(p.active) == 0 && p.draining.Load() && !p.drainSignaled {
+		p.drainSignaled = true
+		close(p.drainIdle)
+	}
 	p.runMu.Unlock()
 }
 

@@ -27,9 +27,14 @@ type Stats struct {
 
 	// Service-mode counters (serve.go).
 	Submitted        int64 // submissions accepted onto the injector shards
-	SubmitsRejected  int64 // submissions rejected with ErrOverloaded (ShedReject)
+	SubmitsRejected  int64 // submissions rejected (ErrOverloaded under ShedReject, or ErrDraining)
 	SubmitsCallerRun int64 // submissions shed to the caller (ShedCallerRuns)
 	InjectorBacklog  int64 // momentary injector occupancy at the Stats call
+
+	// Elastic-fleet counters (resize.go).
+	Resizes        int64 // Resize calls that changed the fleet target
+	WorkersRetired int64 // workers that completed retirement (shrink safe points reached)
+	ActiveWorkers  int64 // workers in the active state at the Stats call
 }
 
 // String renders the counters as an aligned two-column table, one counter
@@ -53,5 +58,8 @@ func (s Stats) String() string {
 	row("submits-rejected", s.SubmitsRejected)
 	row("submits-callerrun", s.SubmitsCallerRun)
 	row("injector-backlog", s.InjectorBacklog)
+	row("resizes", s.Resizes)
+	row("workers-retired", s.WorkersRetired)
+	row("active-workers", s.ActiveWorkers)
 	return b.String()
 }

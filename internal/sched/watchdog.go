@@ -65,7 +65,13 @@ func (p *Pool) watchdog(stop <-chan struct{}) {
 		}
 		for i, w := range p.workers {
 			cur := w.progress.Load()
-			if cur != last[i] || w.parked.Load() {
+			// Retiring and retired workers are exempt like parked ones: a
+			// retired slot has no goroutine to make progress, and a
+			// retiring worker may legitimately sit motionless at the
+			// retire safe point (e.g. suspended by the kernel adversary at
+			// sched.resize.beforeRetire) without that being a stall of the
+			// serving fleet.
+			if cur != last[i] || w.parked.Load() || w.state.Load() != workerActive {
 				last[i] = cur
 				since[i] = now
 				reported[i] = false

@@ -3,6 +3,9 @@ package worksteal
 
 import (
 	"context"
+	"math/rand"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -168,6 +171,119 @@ func TestSoakServeParkWakeChurn(t *testing.T) {
 	}
 	if s.TasksDropped != 0 {
 		t.Fatalf("%d tasks dropped during a clean churn run", s.TasksDropped)
+	}
+}
+
+// TestSoakResizeChurn hammers the elastic fleet through the public API:
+// hundreds of random Resize calls across the whole [1, MaxWorkers] range
+// while concurrent submitters keep an open stream of fan-out submissions
+// flowing. Every handle completing with nil — and a final Drain reporting
+// a clean, ErrStopped-free shutdown — is the whole assertion; the stats
+// checks confirm the churn really retired and restarted workers rather
+// than idling at one size.
+func TestSoakResizeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	maxW := 2 * runtime.GOMAXPROCS(0)
+	if maxW < 4 {
+		maxW = 4
+	}
+	const (
+		rounds     = 300
+		submitters = 2
+		perRound   = 8
+	)
+	p := sched.New(sched.Config{Workers: maxW / 2, MaxWorkers: maxW, ParkThreshold: 2})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- p.Serve(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if h, err := p.Submit(func(*sched.Worker) {}); err == nil {
+			if werr := h.Wait(); werr != nil {
+				t.Fatalf("readiness probe: %v", werr)
+			}
+			break
+		} else if err != sched.ErrNotServing || time.Now().After(deadline) {
+			t.Fatalf("pool never became ready: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	var ran atomic.Int64
+	for round := 0; round < rounds; round++ {
+		if err := p.Resize(1 + rng.Intn(maxW)); err != nil {
+			t.Fatalf("round %d: Resize: %v", round, err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(submitters)
+		for s := 0; s < submitters; s++ {
+			go func(round, s int) {
+				defer wg.Done()
+				for i := 0; i < perRound; i++ {
+					h, err := p.SubmitWithRetry(context.Background(), func(w *sched.Worker) {
+						for j := 0; j < 4; j++ {
+							w.Spawn(func(*sched.Worker) { ran.Add(1) })
+						}
+						ran.Add(1)
+					}, sched.RetryPolicy{MaxAttempts: 50})
+					if err != nil {
+						t.Errorf("round %d submitter %d: %v", round, s, err)
+						return
+					}
+					if err := h.Wait(); err != nil {
+						t.Errorf("round %d submitter %d: Wait: %v", round, s, err)
+						return
+					}
+				}
+			}(round, s)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := p.Drain(dctx); err != nil {
+		t.Fatalf("final Drain = %v after the churn", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after a graceful drain, want nil", err)
+	}
+	want := int64(rounds * submitters * perRound * 5)
+	if got := ran.Load(); got != want {
+		t.Fatalf("ran %d of %d tasks across the resize churn", got, want)
+	}
+	s := p.Stats()
+	if s.TasksDropped != 0 {
+		t.Fatalf("%d tasks dropped during a clean churn", s.TasksDropped)
+	}
+	if s.Resizes < rounds/2 || s.WorkersRetired == 0 {
+		t.Fatalf("the churn never really exercised the fleet: resizes=%d retired=%d", s.Resizes, s.WorkersRetired)
+	}
+
+	// The pool remains usable after the drain: one more short session.
+	go func() { serveErr <- p.Serve(context.Background()) }()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if h, err := p.Submit(func(*sched.Worker) {}); err == nil {
+			if werr := h.Wait(); werr != nil {
+				t.Fatalf("post-drain probe: %v", werr)
+			}
+			break
+		} else if err != sched.ErrNotServing || time.Now().After(deadline) {
+			t.Fatalf("pool never served again after drain: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("second Serve returned %v, want nil", err)
 	}
 }
 
